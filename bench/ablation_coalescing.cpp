@@ -1,0 +1,52 @@
+// Extension ablation: schedule coalescing. The planner emits unit-step
+// rounds (the hardware's shift-command granularity); merging an atom
+// group's consecutive steps into one multi-step AWG ramp removes per-command
+// settle overhead. Quantifies command-count and physical-time savings.
+
+#include "bench_common.hpp"
+#include "awg/waveform.hpp"
+#include "core/planner.hpp"
+#include "moves/optimizer.hpp"
+
+namespace {
+
+using namespace qrm;
+using namespace qrm::bench;
+
+void print_table() {
+  print_header("Extension — schedule coalescing (multi-step command fusion)",
+               "unit-step shift commands fused into AOD ramps; semantics preserved");
+  const awg::AodCalibration cal;
+  TextTable table({"W", "commands before", "commands after", "physical before",
+                   "physical after", "saved"});
+  for (const std::int32_t size : {20, 30, 50}) {
+    const OccupancyGrid grid = workload(size, 1);
+    const PlanResult plan = plan_qrm(grid, paper_target(size));
+    const CoalesceResult co = coalesce_schedule(grid, plan.schedule);
+    const double before_us = awg::build_waveform_plan(plan.schedule, cal).total_duration_us;
+    const double after_us = awg::build_waveform_plan(co.schedule, cal).total_duration_us;
+    table.add_row({std::to_string(size), std::to_string(co.moves_before),
+                   std::to_string(co.moves_after), fmt_time_us(before_us),
+                   fmt_time_us(after_us),
+                   fmt_percent((before_us - after_us) / before_us)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void BM_Coalesce(benchmark::State& state) {
+  const auto size = static_cast<std::int32_t>(state.range(0));
+  const OccupancyGrid grid = workload(size, 1);
+  const PlanResult plan = plan_qrm(grid, paper_target(size));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coalesce_schedule(grid, plan.schedule));
+  }
+}
+BENCHMARK(BM_Coalesce)->Arg(20)->Arg(50)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  run_benchmarks(argc, argv);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Two Sec. V-B claims:
+//  1. "In our experiment, four iterations were used to complete the entire
+//     process" — we report how many compact iterations the planner actually
+//     needs across sizes and fills.
+//  2. "The latency of our design is not directly dependent on the target
+//     area ... it correlates solely with the initial size of the array" —
+//     we sweep the target size at fixed W and show latency is ~flat.
+
+#include "bench_common.hpp"
+#include "core/planner.hpp"
+#include "hwmodel/accelerator.hpp"
+
+namespace {
+
+using namespace qrm;
+using namespace qrm::bench;
+
+void print_iterations_table() {
+  print_header("Claim — compact-mode iteration count",
+               "paper Sec. V-B: four iterations completed the 50x50 process");
+  TextTable table({"W", "fill", "iterations used", "target filled"});
+  for (const std::int32_t size : {20, 50, 90}) {
+    for (const double fill : {0.5, 0.7}) {
+      QrmConfig config;
+      config.target = centered_square(size, size / 2 / 2 * 2);
+      config.mode = PlanMode::Compact;
+      config.max_iterations = 10;
+      const PlanResult result =
+          QrmPlanner(config).plan(load_random(size, size, {fill, 1}));
+      table.add_row({std::to_string(size), fmt_double(fill, 2),
+                     std::to_string(result.stats.iterations),
+                     result.stats.target_filled ? "yes" : "no"});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void print_target_independence_table() {
+  print_header("Claim — latency vs target size at fixed W=50",
+               "paper Sec. V-B: latency correlates with the initial array size, "
+               "not the target area");
+  TextTable table({"target", "FPGA latency (compact)", "FPGA latency (balanced)"});
+  const OccupancyGrid grid = workload(50, 1);
+  for (const std::int32_t target : {10, 20, 30, 40}) {
+    double compact_us = 0.0;
+    double balanced_us = 0.0;
+    for (const PlanMode mode : {PlanMode::Compact, PlanMode::Balanced}) {
+      hw::AcceleratorConfig config;
+      config.plan.target = centered_square(50, target);
+      config.plan.mode = mode;
+      const double us = hw::QrmAccelerator(config).run(grid).latency_us;
+      (mode == PlanMode::Compact ? compact_us : balanced_us) = us;
+    }
+    table.add_row({std::to_string(target), fmt_time_us(compact_us), fmt_time_us(balanced_us)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void BM_CompactIterations(benchmark::State& state) {
+  const OccupancyGrid grid = workload(50, 1);
+  QrmConfig config;
+  config.target = centered_square(50, 24);
+  config.mode = PlanMode::Compact;
+  config.max_iterations = static_cast<std::int32_t>(state.range(0));
+  const QrmPlanner planner(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(grid));
+  }
+}
+BENCHMARK(BM_CompactIterations)->Arg(1)->Arg(4)->Arg(10)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_iterations_table();
+  print_target_independence_table();
+  run_benchmarks(argc, argv);
+  return 0;
+}

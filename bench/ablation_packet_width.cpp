@@ -1,0 +1,60 @@
+// Ablation of the AXI packet width (paper Sec. IV-A: "we pack 1024-bit data
+// into one packet ... with minimal transmission overhead"). Narrow beats
+// make the DDR stream the load-phase bottleneck once W*W/width exceeds the
+// LDM's one-row-per-cycle emission.
+
+#include "bench_common.hpp"
+#include "hwmodel/accelerator.hpp"
+
+namespace {
+
+using namespace qrm;
+using namespace qrm::bench;
+
+void print_table() {
+  print_header("Ablation — AXI packet width",
+               "paper Sec. IV-A: 1024-bit packets minimise transmission overhead");
+  TextTable table({"packet bits", "load cycles (W=50)", "load cycles (W=90)",
+                   "total us (W=90)"});
+  for (const std::uint32_t bits : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+    std::uint64_t load50 = 0;
+    std::uint64_t load90 = 0;
+    double total90 = 0.0;
+    for (const std::int32_t size : {50, 90}) {
+      hw::AcceleratorConfig config;
+      config.plan.target = centered_square(size, paper_target(size));
+      config.packet_bits = bits;
+      const auto result = hw::QrmAccelerator(config).run(workload(size, 1));
+      if (size == 50) {
+        load50 = result.cycles.load;
+      } else {
+        load90 = result.cycles.load;
+        total90 = result.latency_us;
+      }
+    }
+    table.add_row({std::to_string(bits), std::to_string(load50), std::to_string(load90),
+                   fmt_time_us(total90)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void BM_PacketWidth(benchmark::State& state) {
+  const auto bits = static_cast<std::uint32_t>(state.range(0));
+  const OccupancyGrid grid = workload(90, 1);
+  hw::AcceleratorConfig config;
+  config.plan.target = centered_square(90, 54);
+  config.packet_bits = bits;
+  const hw::QrmAccelerator accel(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel.run(grid));
+  }
+}
+BENCHMARK(BM_PacketWidth)->Arg(64)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  run_benchmarks(argc, argv);
+  return 0;
+}

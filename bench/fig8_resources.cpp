@@ -1,0 +1,50 @@
+// Fig. 8: FPGA resource utilisation (BRAM/LUT/FF percentages) on the
+// ZCU216's XCZU49DR when scaling the atom array from 10x10 to 90x90.
+// Paper: BRAM flat; LUT and FF linear with FF's slope slightly steeper;
+// at W=90, LUT 6.31% and FF 6.19%.
+
+#include "bench_common.hpp"
+#include "resources/model.hpp"
+
+namespace {
+
+using namespace qrm;
+using namespace qrm::bench;
+
+void print_table() {
+  print_header("Fig. 8 — FPGA resource utilisation vs atom array size",
+               "paper: BRAM flat; LUT/FF linear; LUT 6.31% / FF 6.19% at W=90");
+  const res::DeviceSpec device = res::zcu216();
+  TextTable table({"W", "BRAM", "LUT", "FF", "paper LUT/FF"});
+  for (const std::int32_t w : {10, 30, 50, 70, 90}) {
+    const res::Utilization u = res::estimate_accelerator(w);
+    table.add_row({std::to_string(w), fmt_percent(u.bram_fraction(device)),
+                   fmt_percent(u.lut_fraction(device)), fmt_percent(u.ff_fraction(device)),
+                   w == 90 ? "6.31% / 6.19%" : "-"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Per-module breakdown at W=90 (paper: ~half of resources in the 4x QPM):\n");
+  TextTable breakdown({"module", "LUTs", "FFs", "BRAM36"});
+  for (const auto& m : res::estimate_breakdown(90)) {
+    breakdown.add_row({m.module, std::to_string(m.usage.luts), std::to_string(m.usage.ffs),
+                       std::to_string(m.usage.bram36)});
+  }
+  std::printf("%s\n", breakdown.render().c_str());
+}
+
+void BM_ResourceEstimate(benchmark::State& state) {
+  const auto w = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(res::estimate_accelerator(w));
+  }
+}
+BENCHMARK(BM_ResourceEstimate)->Arg(10)->Arg(90);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  run_benchmarks(argc, argv);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Extension bench: analysis latency vs physical execution time per
+// algorithm. Accelerating the analysis to ~1 us makes the *atom motion*
+// the remaining bottleneck, and algorithms with fewer / more parallel
+// commands win on the physical side too — the context for the paper's
+// claim that QRM "guarantees a lower clock cycle of neutral atom quantum
+// computers".
+
+#include "bench_common.hpp"
+#include "awg/waveform.hpp"
+#include "baselines/algorithm.hpp"
+
+namespace {
+
+using namespace qrm;
+using namespace qrm::bench;
+
+constexpr std::int32_t kSize = 20;
+constexpr std::int32_t kTarget = 12;
+
+void print_table() {
+  print_header("Extension — analysis time vs physical move time (20x20)",
+               "context for Sec. VI: after acceleration, atom motion dominates");
+  const awg::AodCalibration cal;
+  TextTable table({"algorithm", "analysis (CPU)", "commands", "mean parallelism",
+                   "physical time"});
+  for (const auto& name : {"qrm", "tetris", "psca", "mta1"}) {
+    const auto algo = baselines::make_algorithm(name);
+    const Region target = centered_square(kSize, kTarget);
+    const OccupancyGrid grid = workload(kSize, 1);
+    const double cpu_us = best_of_microseconds(name == std::string("mta1") ? 3 : 10, [&] {
+      benchmark::DoNotOptimize(algo->plan(grid, target));
+    });
+    const PlanResult result = algo->plan(grid, target);
+    const auto stats = result.schedule.stats();
+    const double physical_us =
+        awg::build_waveform_plan(result.schedule, cal).total_duration_us;
+    table.add_row({name, fmt_time_us(cpu_us), std::to_string(stats.parallel_moves),
+                   fmt_double(stats.mean_parallelism, 1), fmt_time_us(physical_us)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void BM_WaveformCompilation(benchmark::State& state) {
+  const auto algo = baselines::make_algorithm("qrm");
+  const PlanResult result = algo->plan(workload(kSize, 1), centered_square(kSize, kTarget));
+  const awg::AodCalibration cal;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(awg::build_waveform_plan(result.schedule, cal));
+  }
+}
+BENCHMARK(BM_WaveformCompilation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  run_benchmarks(argc, argv);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 2 architecture comparison: the host-mediated control system (a) pays
+// two interconnect hops and CPU-speed analysis per rearrangement round; the
+// fully FPGA-integrated system (b) removes both. This bench quantifies the
+// control-path latency of each.
+
+#include "bench_common.hpp"
+#include "runtime/control_system.hpp"
+
+namespace {
+
+using namespace qrm;
+using namespace qrm::bench;
+
+rt::SystemConfig system_config(std::int32_t size, rt::Architecture arch) {
+  rt::SystemConfig config;
+  config.architecture = arch;
+  config.accelerator.plan.target = centered_square(size, paper_target(size));
+  config.imaging.photons_per_atom = 400.0;
+  config.imaging.background_photons = 1.0;
+  config.detection.pixels_per_site = config.imaging.pixels_per_site;
+  return config;
+}
+
+void print_table() {
+  print_header("System architecture — Fig. 2(a) host-mediated vs Fig. 2(b) FPGA-integrated",
+               "paper Sec. I: host round trips dominate the control path");
+  TextTable table({"W", "arch", "detect", "transfers", "analysis", "control total"});
+  for (const std::int32_t size : {20, 50}) {
+    for (const rt::Architecture arch :
+         {rt::Architecture::HostMediated, rt::Architecture::FpgaIntegrated}) {
+      const rt::ControlSystem system(system_config(size, arch));
+      const rt::WorkflowReport report = system.run(workload(size, 1));
+      table.add_row({std::to_string(size),
+                     arch == rt::Architecture::HostMediated ? "(a) host" : "(b) FPGA",
+                     fmt_time_us(report.detection_us), fmt_time_us(report.transfer_us),
+                     fmt_time_us(report.analysis_us),
+                     fmt_time_us(report.control_latency_us())});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void BM_ControlPath(benchmark::State& state) {
+  const auto arch = state.range(0) == 0 ? rt::Architecture::HostMediated
+                                        : rt::Architecture::FpgaIntegrated;
+  const rt::ControlSystem system(system_config(20, arch));
+  const OccupancyGrid atoms = workload(20, 1);
+  double control_us = 0.0;
+  for (auto _ : state) {
+    const auto report = system.run(atoms);
+    control_us = report.control_latency_us();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["control_us"] = control_us;
+}
+BENCHMARK(BM_ControlPath)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  run_benchmarks(argc, argv);
+  return 0;
+}

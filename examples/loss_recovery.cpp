@@ -1,0 +1,45 @@
+/// \file loss_recovery.cpp
+/// Multi-round rearrangement under atom loss: the scaled-up / mid-circuit
+/// scenario that motivates fast analysis (paper Sec. I). Each round
+/// re-images, re-plans and re-executes; transported atoms are occasionally
+/// lost, so several rounds are typically needed — multiplying whatever the
+/// per-round analysis latency is.
+///
+///   $ ./examples/loss_recovery [per_move_loss_percent]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "loading/loader.hpp"
+#include "runtime/rearrangement_loop.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qrm;
+  const double loss_pct = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+  const OccupancyGrid initial = load_random(30, 30, {0.6, 11});
+  rt::LoopConfig config;
+  config.plan.target = centered_square(30, 18);
+  config.loss.per_move_loss = loss_pct / 100.0;
+  config.loss.background_loss = 0.002;
+  config.max_rounds = 12;
+
+  std::printf("Rearranging 30x30 -> 18x18 with %.1f%% transport loss per move\n\n", loss_pct);
+  const rt::LoopReport report = rt::run_rearrangement_loop(initial, config);
+
+  TextTable table({"round", "atoms", "defects", "commands", "lost", "filled"});
+  int round = 1;
+  for (const auto& r : report.rounds) {
+    table.add_row({std::to_string(round++), std::to_string(r.atoms_before),
+                   std::to_string(r.defects_before), std::to_string(r.commands),
+                   std::to_string(r.atoms_lost), r.filled_after ? "yes" : "no"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Outcome: %s after %zu round(s), %lld atoms lost in total.\n",
+              report.success ? "defect-free" : "FAILED", report.rounds_used(),
+              static_cast<long long>(report.total_atoms_lost));
+  std::printf("Every extra round repeats the full image->detect->plan chain — the\n"
+              "latency the paper's accelerator shrinks from tens of microseconds to ~1 us.\n");
+  return report.success ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+/// \file scaling_study.cpp
+/// Parameter sweep over array size and fill factor: accelerator latency,
+/// cycle breakdown, movement records and resource utilisation, written to
+/// stdout and to scaling_study.csv for plotting.
+///
+///   $ ./examples/scaling_study [max_size]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "hwmodel/accelerator.hpp"
+#include "loading/loader.hpp"
+#include "resources/model.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qrm;
+  const std::int32_t max_size = argc > 1 ? std::atoi(argv[1]) : 90;
+
+  CsvFile csv("scaling_study.csv");
+  if (!csv.is_open()) {
+    std::fprintf(stderr, "cannot open scaling_study.csv for writing\n");
+    return 1;
+  }
+  csv.writer().header({"size", "fill", "latency_us", "cycles", "load_cycles", "pass_cycles",
+                       "records", "filled", "lut_pct", "ff_pct", "bram_pct"});
+
+  const res::DeviceSpec device = res::zcu216();
+  TextTable table({"W", "fill", "latency", "cycles", "records", "filled", "LUT", "FF"});
+  for (std::int32_t size = 10; size <= max_size; size += 20) {
+    for (const double fill : {0.5, 0.55, 0.65}) {
+      const OccupancyGrid grid =
+          load_random(size, size, {fill, static_cast<std::uint64_t>(size)});
+      hw::AcceleratorConfig config;
+      config.plan.target = centered_square(size, size * 3 / 5 / 2 * 2);
+      const hw::AccelResult result = hw::QrmAccelerator(config).run(grid);
+      const res::Utilization usage = res::estimate_accelerator(size);
+
+      csv.writer().row(size, fill, result.latency_us, result.cycles.total(),
+                       result.cycles.load, result.cycles.pass_total(),
+                       result.movement_records, result.plan.stats.target_filled ? 1 : 0,
+                       usage.lut_fraction(device) * 100.0, usage.ff_fraction(device) * 100.0,
+                       usage.bram_fraction(device) * 100.0);
+      table.add_row({std::to_string(size), fmt_double(fill, 2),
+                     fmt_time_us(result.latency_us), std::to_string(result.cycles.total()),
+                     std::to_string(result.movement_records),
+                     result.plan.stats.target_filled ? "yes" : "no",
+                     fmt_percent(usage.lut_fraction(device)),
+                     fmt_percent(usage.ff_fraction(device))});
+    }
+  }
+  std::printf("%s\nWrote scaling_study.csv (%zu data rows)\n", table.render().c_str(),
+              csv.writer().rows_written());
+  return 0;
+}

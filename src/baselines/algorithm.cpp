@@ -1,0 +1,77 @@
+#include "baselines/algorithm.hpp"
+
+#include "baselines/mta1.hpp"
+#include "baselines/psca.hpp"
+#include "baselines/tetris.hpp"
+#include "core/planner.hpp"
+#include "core/typical.hpp"
+#include "util/assert.hpp"
+
+namespace qrm::baselines {
+
+namespace {
+
+/// Adapter over the QRM planner (the paper's own algorithm, CPU-side).
+class QrmAdapter final : public RearrangementAlgorithm {
+ public:
+  QrmAdapter(PlanMode mode, AlgorithmOptions options) : mode_(mode), options_(options) {}
+  [[nodiscard]] std::string name() const override {
+    return mode_ == PlanMode::Balanced ? "qrm" : "qrm-compact";
+  }
+  [[nodiscard]] std::string description() const override {
+    return mode_ == PlanMode::Balanced
+               ? "QRM (this paper): quadrant split, balanced placement, merged commands"
+               : "QRM compact mode (paper-literal iterated compaction)";
+  }
+  [[nodiscard]] PlanResult plan(const OccupancyGrid& initial,
+                                const Region& target) const override {
+    QrmConfig config;
+    config.target = target;
+    config.mode = mode_;
+    config.aod_legalize = options_.aod_legalize;
+    return QrmPlanner(config).plan(initial);
+  }
+
+ private:
+  PlanMode mode_;
+  AlgorithmOptions options_;
+};
+
+/// Adapter over the typical (non-quadrant, Fig. 3) reference procedure.
+class TypicalAdapter final : public RearrangementAlgorithm {
+ public:
+  explicit TypicalAdapter(AlgorithmOptions options) : options_(options) {}
+  [[nodiscard]] std::string name() const override { return "typical"; }
+  [[nodiscard]] std::string description() const override {
+    return "Typical centre-out procedure (paper Sec. III-A reference)";
+  }
+  [[nodiscard]] PlanResult plan(const OccupancyGrid& initial,
+                                const Region& target) const override {
+    TypicalConfig config;
+    config.target = target;
+    config.aod_legalize = options_.aod_legalize;
+    return plan_typical(initial, config);
+  }
+
+ private:
+  AlgorithmOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<RearrangementAlgorithm> make_algorithm(const std::string& name,
+                                                       const AlgorithmOptions& options) {
+  if (name == "qrm") return std::make_unique<QrmAdapter>(PlanMode::Balanced, options);
+  if (name == "qrm-compact") return std::make_unique<QrmAdapter>(PlanMode::Compact, options);
+  if (name == "typical") return std::make_unique<TypicalAdapter>(options);
+  if (name == "tetris") return std::make_unique<TetrisAlgorithm>(options);
+  if (name == "psca") return std::make_unique<PscaAlgorithm>(options);
+  if (name == "mta1") return std::make_unique<Mta1Algorithm>();
+  throw PreconditionError("unknown rearrangement algorithm: " + name);
+}
+
+std::vector<std::string> algorithm_names() {
+  return {"qrm", "qrm-compact", "typical", "tetris", "psca", "mta1"};
+}
+
+}  // namespace qrm::baselines

@@ -1,0 +1,53 @@
+#pragma once
+/// \file common.hpp
+/// Shared placement machinery for the non-quadrant baseline algorithms.
+///
+/// All three baselines ultimately realise the same *placement semantics* —
+/// each target column is promised enough donor atoms across rows (balance),
+/// then each column stacks its atoms over the target band (compression) —
+/// because that is the published recipe family they belong to. They differ
+/// in how the analysis is computed and at what granularity moves are
+/// issued, which is what the Fig. 7(b) latency comparison measures.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "lattice/grid.hpp"
+#include "lattice/region.hpp"
+#include "moves/realizer.hpp"
+
+namespace qrm::baselines {
+
+/// Full-line placement that fills the band [band_start, band_start+band_size)
+/// while preserving atom order, parking surplus atoms above/below the band
+/// as close to their original positions as allowed. When fewer than
+/// band_size atoms exist, fills the band from its start (partial).
+/// Returns the ascending target positions for the line's atoms (same count).
+[[nodiscard]] std::vector<std::int32_t> band_targets(const std::vector<std::int32_t>& atoms,
+                                                     std::int32_t band_start,
+                                                     std::int32_t band_size,
+                                                     std::int32_t line_length);
+
+/// Balanced horizontal placement for the whole grid (non-quadrant): every
+/// target column is granted `target.rows` donors via the largest-remaining-
+/// capacity greedy; each row's full placement keeps unchosen atoms as close
+/// to their original columns as possible.
+struct GlobalPlacement {
+  std::vector<LineAssignment> row_assignments;  ///< one per row with motion
+  bool feasible = true;
+  std::int64_t shortfall = 0;
+};
+[[nodiscard]] GlobalPlacement compute_balanced_placement(const OccupancyGrid& grid,
+                                                         const Region& target);
+
+/// Column-band assignments for the vertical phase (after the horizontal
+/// placement): every column stacks its atoms over the target row band.
+[[nodiscard]] std::vector<LineAssignment> compute_band_columns(const OccupancyGrid& grid,
+                                                               const Region& target);
+
+/// Finish a PlanResult: stats from the final state.
+void finalize_stats(PlanResult& result, const Region& target);
+
+}  // namespace qrm::baselines

@@ -1,0 +1,29 @@
+#pragma once
+/// \file mta1.hpp
+/// Reconstruction of the MTA1-class scheduler used as the slowest
+/// comparison point in the paper (after Ebadi et al., Nature 595, 227
+/// (2021)): sequential single-tweezer rearrangement.
+///
+/// Structure reproduced: atoms are delivered to the same balanced placement
+/// one at a time — each elementary step is its own command, and the
+/// analysis re-locates the atom by scanning its line before every step
+/// (the naive control loop of early single-tweezer systems). No
+/// multi-tweezer parallelism anywhere; both the analysis latency and the
+/// resulting command count are orders of magnitude above the parallel
+/// algorithms, matching its position in Fig. 7(b).
+
+#include "baselines/algorithm.hpp"
+
+namespace qrm::baselines {
+
+class Mta1Algorithm final : public RearrangementAlgorithm {
+ public:
+  [[nodiscard]] std::string name() const override { return "mta1"; }
+  [[nodiscard]] std::string description() const override {
+    return "MTA1 (Ebadi'21 class): sequential single-tweezer, per-step rescan";
+  }
+  [[nodiscard]] PlanResult plan(const OccupancyGrid& initial,
+                                const Region& target) const override;
+};
+
+}  // namespace qrm::baselines

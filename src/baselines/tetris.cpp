@@ -1,0 +1,49 @@
+#include "baselines/tetris.hpp"
+
+#include "baselines/common.hpp"
+#include "moves/realizer.hpp"
+
+namespace qrm::baselines {
+
+PlanResult TetrisAlgorithm::plan(const OccupancyGrid& initial, const Region& target) const {
+  PlanResult result;
+  result.final_grid = initial;
+  OccupancyGrid& state = result.final_grid;
+
+  const RealizeOptions realize_options{options_.aod_legalize};
+
+  // Phase 1: balance — grant every target column enough donors, then place
+  // each row (horizontal multi-tweezer rounds).
+  const GlobalPlacement placement = compute_balanced_placement(state, target);
+  result.stats.feasible = placement.feasible;
+  if (!placement.row_assignments.empty()) {
+    PassInfo info;
+    info.axis = Axis::Rows;
+    info.lines_with_motion = placement.row_assignments.size();
+    const RealizeResult rr = realize_assignments(state, Axis::Rows, placement.row_assignments,
+                                                 result.schedule, realize_options);
+    info.unit_rounds = rr.rounds_toward_origin + rr.rounds_away;
+    info.atoms_moved = rr.atoms_moved;
+    result.stats.passes.push_back(info);
+  }
+
+  // Phase 2: compression — stack every column over the target band
+  // (vertical multi-tweezer rounds).
+  const std::vector<LineAssignment> columns = compute_band_columns(state, target);
+  if (!columns.empty()) {
+    PassInfo info;
+    info.axis = Axis::Cols;
+    info.lines_with_motion = columns.size();
+    const RealizeResult rr =
+        realize_assignments(state, Axis::Cols, columns, result.schedule, realize_options);
+    info.unit_rounds = rr.rounds_toward_origin + rr.rounds_away;
+    info.atoms_moved = rr.atoms_moved;
+    result.stats.passes.push_back(info);
+  }
+
+  result.stats.iterations = 1;
+  finalize_stats(result, target);
+  return result;
+}
+
+}  // namespace qrm::baselines

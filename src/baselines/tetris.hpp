@@ -1,0 +1,32 @@
+#pragma once
+/// \file tetris.hpp
+/// Reconstruction of the "Tetris" rearrangement algorithm of Wang et al.,
+/// Phys. Rev. Applied 19, 054032 (2023): balanced compression of the whole
+/// array with maximally parallel multi-tweezer moves.
+///
+/// Structure reproduced: one global balance analysis (per-row donor
+/// assignment to target columns) followed by column compression onto the
+/// target band, lowered to parallel lockstep move rounds. Unlike QRM there
+/// is no quadrant decomposition and no bit-parallel scanning; the analysis
+/// walks the full array with general-purpose data structures, which is why
+/// its CPU latency sits above QRM's in Fig. 7(b).
+
+#include "baselines/algorithm.hpp"
+
+namespace qrm::baselines {
+
+class TetrisAlgorithm final : public RearrangementAlgorithm {
+ public:
+  explicit TetrisAlgorithm(AlgorithmOptions options = {}) : options_(options) {}
+  [[nodiscard]] std::string name() const override { return "tetris"; }
+  [[nodiscard]] std::string description() const override {
+    return "Tetris (Wang'23): global balanced compression, max-parallel moves";
+  }
+  [[nodiscard]] PlanResult plan(const OccupancyGrid& initial,
+                                const Region& target) const override;
+
+ private:
+  AlgorithmOptions options_;
+};
+
+}  // namespace qrm::baselines

@@ -1,0 +1,76 @@
+#pragma once
+/// \file config.hpp
+/// Configuration and result types of the QRM planner.
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/grid.hpp"
+#include "lattice/region.hpp"
+#include "moves/realizer.hpp"
+#include "moves/schedule.hpp"
+
+namespace qrm {
+
+/// Per-quadrant scheduling strategy.
+enum class PlanMode : std::uint8_t {
+  /// Paper-literal iterated row-wise/column-wise inward compaction — exactly
+  /// what the described Shift Kernel computes. Fills the target only when
+  /// the post-compaction Young-diagram occupancy covers it (small targets or
+  /// high fill); see DESIGN.md for the analysis.
+  Compact,
+  /// Demand-balanced assignment (one row-scan balance pass) followed by
+  /// column compaction. Guaranteed to fill whenever each quadrant holds
+  /// enough reachable atoms. Default, and what the 30x30-from-50x50
+  /// experiment requires.
+  Balanced,
+};
+
+[[nodiscard]] constexpr const char* to_cstring(PlanMode m) noexcept {
+  return m == PlanMode::Compact ? "compact" : "balanced";
+}
+
+struct QrmConfig {
+  /// Global target region; must be even-sized and centred so each quadrant
+  /// owns exactly one quarter of it.
+  Region target;
+  PlanMode mode = PlanMode::Balanced;
+  /// Compact-mode iteration cap (one iteration = one H pass + one V pass).
+  /// The paper reports four iterations for its 50x50 experiment.
+  std::int32_t max_iterations = 4;
+  /// Merge the four quadrants' shift commands into shared global rounds
+  /// (paper Sec. IV-C: NW+SW west-side shifts and NE+SE east-side shifts
+  /// execute as single commands). Disable to study the ablation.
+  bool merge_quadrants = true;
+  /// Split every round into AOD-legal sub-moves (cross-product rule).
+  bool aod_legalize = true;
+  /// The kernel's manual shift-enable gate: local positions >= sen_limit
+  /// never shift ("prevent unnecessary shifts far from the center").
+  /// Negative disables gating.
+  std::int32_t sen_limit = -1;
+};
+
+/// What one line-scan pass over the quadrants did (used by the cycle model
+/// to account hardware time pass-by-pass).
+struct PassInfo {
+  Axis axis = Axis::Rows;
+  std::size_t lines_with_motion = 0;  ///< line assignments emitted
+  std::size_t unit_rounds = 0;        ///< single-step shift rounds executed
+  std::size_t atoms_moved = 0;
+};
+
+struct PlanStats {
+  std::int32_t iterations = 0;  ///< compact iterations used (balanced: 1)
+  bool target_filled = false;
+  std::int64_t defects_remaining = 0;
+  bool feasible = true;  ///< balanced mode: demand was satisfiable
+  std::vector<PassInfo> passes;
+};
+
+struct PlanResult {
+  Schedule schedule;
+  OccupancyGrid final_grid;
+  PlanStats stats;
+};
+
+}  // namespace qrm

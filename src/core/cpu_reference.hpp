@@ -1,0 +1,39 @@
+#pragma once
+/// \file cpu_reference.hpp
+/// The paper's CPU baseline: "we conduct a comparative analysis by running
+/// the C++ algorithm on the CPU" — i.e. the accelerator's own analysis,
+/// executed in software.
+///
+/// This implementation mirrors the hardware dataflow directly on BitRow
+/// words: quadrant flips, per-line scans producing shift commands, the
+/// balance unit's demand assignment, and movement-record extraction with
+/// empty-shift elimination. It produces the same final occupancy as
+/// QrmPlanner (tests enforce equality) but does not materialise the
+/// move-by-move schedule — exactly like the FPGA, whose output is the
+/// packed movement-record stream. Fig. 7(a)'s CPU column times this
+/// function.
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "lattice/grid.hpp"
+
+namespace qrm {
+
+struct CpuReferenceResult {
+  OccupancyGrid final_grid;          ///< predicted occupancy after all moves
+  std::uint64_t movement_records = 0;  ///< per-atom records (empty shifts removed)
+  std::int32_t passes = 0;
+  bool target_filled = false;
+  bool feasible = true;
+};
+
+/// Run the QRM analysis (same pass program as QrmPlanner for the given
+/// config) without schedule materialisation. Preconditions: as
+/// QrmPlanner::plan. `sen_limit` is honoured; merge_quadrants and
+/// aod_legalize do not affect this analysis (they shape the physical
+/// command stream, which this path does not emit).
+[[nodiscard]] CpuReferenceResult run_cpu_reference(const OccupancyGrid& initial,
+                                                   const QrmConfig& config);
+
+}  // namespace qrm

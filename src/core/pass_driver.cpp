@@ -1,0 +1,197 @@
+#include "core/pass_driver.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace qrm {
+
+namespace {
+
+/// Map one quadrant-local assignment into global coordinates. Local lines
+/// map to global lines of the same axis (quadrant flips never transpose);
+/// positions mirror for quadrants whose local axis points away from the
+/// global one, so arrays are reversed to stay ascending.
+LineAssignment to_global_assignment(const QuadrantGeometry& geom, Quadrant q, Axis axis,
+                                    const LineAssignment& local) {
+  LineAssignment global;
+  const auto map_pos = [&](std::int32_t pos) {
+    const Coord lc = axis == Axis::Rows ? Coord{local.line, pos} : Coord{pos, local.line};
+    const Coord gc = geom.to_global(q, lc);
+    return axis == Axis::Rows ? gc.col : gc.row;
+  };
+  {
+    const Coord lc0 = axis == Axis::Rows ? Coord{local.line, 0} : Coord{0, local.line};
+    const Coord gc0 = geom.to_global(q, lc0);
+    global.line = axis == Axis::Rows ? gc0.row : gc0.col;
+  }
+  global.sources.reserve(local.sources.size());
+  global.targets.reserve(local.targets.size());
+  for (const auto s : local.sources) global.sources.push_back(map_pos(s));
+  for (const auto t : local.targets) global.targets.push_back(map_pos(t));
+  if (global.sources.size() > 1 && global.sources.front() > global.sources.back()) {
+    std::reverse(global.sources.begin(), global.sources.end());
+    std::reverse(global.targets.begin(), global.targets.end());
+  }
+  return global;
+}
+
+/// Validates the grid shape before QuadrantGeometry construction so the
+/// caller sees a QRM-specific message rather than the geometry's.
+QuadrantGeometry checked_geometry(const OccupancyGrid& grid) {
+  QRM_EXPECTS_MSG(grid.height() > 0 && grid.width() > 0 && grid.height() % 2 == 0 &&
+                      grid.width() % 2 == 0,
+                  "QRM requires non-empty, even grid dimensions");
+  return {grid.height(), grid.width()};
+}
+
+}  // namespace
+
+PassDriver::PassDriver(const OccupancyGrid& initial, QrmConfig config)
+    : config_(std::move(config)), geometry_(checked_geometry(initial)), state_(initial) {
+  const Region target = config_.target;
+  QRM_EXPECTS_MSG(target.rows > 0 && target.cols > 0 && target.rows % 2 == 0 &&
+                      target.cols % 2 == 0,
+                  "QRM requires an even-sized target region");
+  QRM_EXPECTS_MSG(
+      target == centered_region(initial.height(), initial.width(), target.rows, target.cols),
+      "QRM requires the target region centred in the grid");
+  phase_ = config_.mode == PlanMode::Balanced ? Phase::BalanceRow : Phase::CompactRow;
+}
+
+std::optional<QuadrantPass> PassDriver::next() {
+  QRM_EXPECTS_MSG(!awaiting_apply_, "call apply() before requesting the next pass");
+  if (phase_ == Phase::Done) return std::nullopt;
+
+  QuadrantPass pass;
+  pass.axis = (phase_ == Phase::BalanceRow || phase_ == Phase::CompactRow) ? Axis::Rows
+                                                                           : Axis::Cols;
+  pass.balance = phase_ == Phase::BalanceRow;
+
+  const std::int32_t quarter_rows = config_.target.rows / 2;
+  const std::int32_t quarter_cols = config_.target.cols / 2;
+  for (const Quadrant q : kAllQuadrants) {
+    const auto qi = static_cast<std::size_t>(q);
+    pass.local_grids[qi] = geometry_.extract_local(state_, q);
+    if (pass.balance) {
+      BalanceReport report;
+      pass.local_assignments[qi] = balance_pass(pass.local_grids[qi], quarter_rows, quarter_cols,
+                                                config_.sen_limit, &report);
+      pass.balance_reports[qi] = report;
+      if (!report.feasible) stats_.feasible = false;
+    } else {
+      pass.local_assignments[qi] =
+          compact_pass(pass.local_grids[qi], pass.axis, config_.sen_limit);
+    }
+  }
+  awaiting_apply_ = true;
+  return pass;
+}
+
+void PassDriver::apply(const QuadrantPass& pass) {
+  QRM_EXPECTS_MSG(awaiting_apply_, "apply() must follow a successful next()");
+  awaiting_apply_ = false;
+
+  PassInfo info;
+  info.axis = pass.axis;
+  const RealizeOptions realize_options{config_.aod_legalize};
+
+  if (config_.merge_quadrants) {
+    // Paper Sec. IV-C: west-side (NW+SW) and east-side (NE+SE) shifts run as
+    // shared commands; realizing both half-lines of every global line in one
+    // call yields exactly those shared rounds.
+    std::map<std::int32_t, LineAssignment> merged;
+    for (const Quadrant q : kAllQuadrants) {
+      for (const auto& la : pass.local_assignments[static_cast<std::size_t>(q)]) {
+        LineAssignment ga = to_global_assignment(geometry_, q, pass.axis, la);
+        auto [it, inserted] = merged.try_emplace(ga.line, std::move(ga));
+        if (!inserted) {
+          // try_emplace left `ga` untouched; append it to the accumulated
+          // half-line. The two halves occupy disjoint position ranges.
+          LineAssignment& acc = it->second;
+          LineAssignment& incoming = ga;
+          const bool after = acc.sources.empty() || incoming.sources.empty() ||
+                             incoming.sources.front() > acc.sources.back();
+          if (after) {
+            acc.sources.insert(acc.sources.end(), incoming.sources.begin(),
+                               incoming.sources.end());
+            acc.targets.insert(acc.targets.end(), incoming.targets.begin(),
+                               incoming.targets.end());
+          } else {
+            acc.sources.insert(acc.sources.begin(), incoming.sources.begin(),
+                               incoming.sources.end());
+            acc.targets.insert(acc.targets.begin(), incoming.targets.begin(),
+                               incoming.targets.end());
+          }
+        }
+      }
+    }
+    std::vector<LineAssignment> lines;
+    lines.reserve(merged.size());
+    for (auto& [line, la] : merged) lines.push_back(std::move(la));
+    info.lines_with_motion = lines.size();
+    if (!lines.empty()) {
+      const RealizeResult rr =
+          realize_assignments(state_, pass.axis, lines, schedule_, realize_options);
+      info.unit_rounds = rr.rounds_toward_origin + rr.rounds_away;
+      info.atoms_moved = rr.atoms_moved;
+    }
+  } else {
+    for (const Quadrant q : kAllQuadrants) {
+      const auto& locals = pass.local_assignments[static_cast<std::size_t>(q)];
+      if (locals.empty()) continue;
+      std::vector<LineAssignment> globals;
+      globals.reserve(locals.size());
+      for (const auto& la : locals)
+        globals.push_back(to_global_assignment(geometry_, q, pass.axis, la));
+      info.lines_with_motion += globals.size();
+      const RealizeResult rr =
+          realize_assignments(state_, pass.axis, globals, schedule_, realize_options);
+      info.unit_rounds += rr.rounds_toward_origin + rr.rounds_away;
+      info.atoms_moved += rr.atoms_moved;
+    }
+  }
+  stats_.passes.push_back(info);
+
+  // Advance the pass program.
+  switch (phase_) {
+    case Phase::BalanceRow:
+      phase_ = Phase::BalanceCol;
+      break;
+    case Phase::BalanceCol:
+      stats_.iterations = 1;
+      phase_ = Phase::Done;
+      break;
+    case Phase::CompactRow:
+      iteration_atoms_moved_ = info.atoms_moved;
+      phase_ = Phase::CompactCol;
+      break;
+    case Phase::CompactCol:
+      iteration_atoms_moved_ += info.atoms_moved;
+      ++iteration_;
+      stats_.iterations = iteration_;
+      if (iteration_atoms_moved_ == 0 || state_.region_full(config_.target) ||
+          iteration_ >= config_.max_iterations) {
+        phase_ = Phase::Done;
+      } else {
+        phase_ = Phase::CompactRow;
+      }
+      break;
+    case Phase::Done:
+      break;
+  }
+}
+
+PlanResult PassDriver::take_result() {
+  PlanResult result;
+  stats_.target_filled = state_.region_full(config_.target);
+  stats_.defects_remaining =
+      static_cast<std::int64_t>(config_.target.area()) - state_.atom_count(config_.target);
+  result.schedule = schedule_;
+  result.final_grid = state_;
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace qrm

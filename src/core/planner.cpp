@@ -1,0 +1,20 @@
+#include "core/planner.hpp"
+
+#include "core/pass_driver.hpp"
+
+namespace qrm {
+
+PlanResult QrmPlanner::plan(const OccupancyGrid& initial) const {
+  PassDriver driver(initial, config_);
+  while (auto pass = driver.next()) driver.apply(*pass);
+  return driver.take_result();
+}
+
+PlanResult plan_qrm(const OccupancyGrid& initial, std::int32_t target_size, PlanMode mode) {
+  QrmConfig config;
+  config.target = centered_region(initial.height(), initial.width(), target_size, target_size);
+  config.mode = mode;
+  return QrmPlanner(config).plan(initial);
+}
+
+}  // namespace qrm

@@ -1,0 +1,29 @@
+#pragma once
+/// \file typical.hpp
+/// The "typical rearrangement procedure" of the paper's Sec. III-A / Fig. 3:
+/// a non-quadrant reference that fills centre columns from the sides, column
+/// by column, then repeats the process row-wise.
+///
+/// Filling each successive centre-outward column by block-shifting the
+/// remainder of the row is, in aggregate, exactly per-half-row compaction
+/// toward the centre; this implementation expresses that directly. It exists
+/// (a) as the behavioural reference QRM's compact mode must agree with, and
+/// (b) as the workload for the Fig. 3 walk-through example.
+
+#include "core/config.hpp"
+#include "lattice/grid.hpp"
+
+namespace qrm {
+
+struct TypicalConfig {
+  Region target;                     ///< centred, even-sized
+  std::int32_t max_iterations = 4;   ///< H+V repetitions
+  bool aod_legalize = true;
+};
+
+/// Plan with the typical (non-quadrant) procedure. Same preconditions as
+/// QrmPlanner::plan. The returned stats reuse the QRM structures; `feasible`
+/// is always true (the procedure has no demand computation).
+[[nodiscard]] PlanResult plan_typical(const OccupancyGrid& initial, const TypicalConfig& config);
+
+}  // namespace qrm

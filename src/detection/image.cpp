@@ -1,0 +1,89 @@
+#include "detection/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace qrm {
+
+FluorescenceImage::FluorescenceImage(std::int32_t height_px, std::int32_t width_px)
+    : height_px_(height_px), width_px_(width_px) {
+  QRM_EXPECTS(height_px >= 0 && width_px >= 0);
+  pixels_.assign(static_cast<std::size_t>(height_px) * static_cast<std::size_t>(width_px), 0.0);
+}
+
+double FluorescenceImage::at(std::int32_t row, std::int32_t col) const {
+  QRM_EXPECTS(row >= 0 && row < height_px_ && col >= 0 && col < width_px_);
+  return pixels_[static_cast<std::size_t>(row) * static_cast<std::size_t>(width_px_) +
+                 static_cast<std::size_t>(col)];
+}
+
+void FluorescenceImage::add(std::int32_t row, std::int32_t col, double photons) {
+  QRM_EXPECTS(row >= 0 && row < height_px_ && col >= 0 && col < width_px_);
+  pixels_[static_cast<std::size_t>(row) * static_cast<std::size_t>(width_px_) +
+          static_cast<std::size_t>(col)] += photons;
+}
+
+double FluorescenceImage::integrate(std::int32_t r0, std::int32_t c0, std::int32_t h,
+                                    std::int32_t w) const {
+  const std::int32_t r1 = std::min(height_px_, r0 + h);
+  const std::int32_t c1 = std::min(width_px_, c0 + w);
+  double sum = 0.0;
+  for (std::int32_t r = std::max(0, r0); r < r1; ++r)
+    for (std::int32_t c = std::max(0, c0); c < c1; ++c) sum += at(r, c);
+  return sum;
+}
+
+double FluorescenceImage::total_photons() const noexcept {
+  double sum = 0.0;
+  for (const double p : pixels_) sum += p;
+  return sum;
+}
+
+double FluorescenceImage::max_pixel() const noexcept {
+  double best = 0.0;
+  for (const double p : pixels_) best = std::max(best, p);
+  return best;
+}
+
+FluorescenceImage render_image(const OccupancyGrid& atoms, const ImagingConfig& config) {
+  QRM_EXPECTS(config.pixels_per_site > 0);
+  QRM_EXPECTS(config.psf_sigma_px > 0.0);
+  const std::int32_t pps = config.pixels_per_site;
+  FluorescenceImage image(atoms.height() * pps, atoms.width() * pps);
+  Rng rng(config.seed);
+
+  // Background shot noise on every pixel.
+  for (std::int32_t r = 0; r < image.height(); ++r)
+    for (std::int32_t c = 0; c < image.width(); ++c)
+      image.add(r, c, rng.poisson(config.background_photons));
+
+  // Per-atom Gaussian PSF, truncated at 3 sigma, normalized so the expected
+  // total signal is photons_per_atom; each pixel's deposit is Poissonian.
+  const double sigma = config.psf_sigma_px;
+  const auto radius = static_cast<std::int32_t>(std::ceil(3.0 * sigma));
+  const double norm = 1.0 / (2.0 * 3.14159265358979323846 * sigma * sigma);
+  for (const Coord& site : atoms.atom_positions()) {
+    const double centre_r = (static_cast<double>(site.row) + 0.5) * pps;
+    const double centre_c = (static_cast<double>(site.col) + 0.5) * pps;
+    const auto cr = static_cast<std::int32_t>(centre_r);
+    const auto cc = static_cast<std::int32_t>(centre_c);
+    for (std::int32_t dr = -radius; dr <= radius; ++dr) {
+      for (std::int32_t dc = -radius; dc <= radius; ++dc) {
+        const std::int32_t pr = cr + dr;
+        const std::int32_t pc = cc + dc;
+        if (pr < 0 || pr >= image.height() || pc < 0 || pc >= image.width()) continue;
+        const double dy = (static_cast<double>(pr) + 0.5) - centre_r;
+        const double dx = (static_cast<double>(pc) + 0.5) - centre_c;
+        const double weight = norm * std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+        const double expected = config.photons_per_atom * weight;
+        if (expected > 0.0) image.add(pr, pc, rng.poisson(expected));
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace qrm

@@ -1,0 +1,53 @@
+#include "hwmodel/axi.hpp"
+
+#include "util/assert.hpp"
+
+namespace qrm::hw {
+
+std::vector<AxiPacket> pack_grid(const OccupancyGrid& grid, std::uint32_t packet_bits) {
+  QRM_EXPECTS_MSG(packet_bits > 0 && packet_bits % 64 == 0,
+                  "packet width must be a positive multiple of 64");
+  const std::uint32_t words_per_packet = packet_bits / 64;
+  const std::uint64_t total_bits =
+      static_cast<std::uint64_t>(grid.height()) * static_cast<std::uint64_t>(grid.width());
+  const std::uint64_t packet_count = (total_bits + packet_bits - 1) / packet_bits;
+
+  std::vector<AxiPacket> packets(packet_count);
+  for (auto& p : packets) p.words.assign(words_per_packet, 0);
+
+  std::uint64_t bit_cursor = 0;
+  for (std::int32_t r = 0; r < grid.height(); ++r) {
+    const BitRow& row = grid.row(r);
+    for (std::uint32_t c = 0; c < row.width(); ++c, ++bit_cursor) {
+      if (!row.test(c)) continue;
+      const std::uint64_t packet_index = bit_cursor / packet_bits;
+      const std::uint64_t bit_in_packet = bit_cursor % packet_bits;
+      packets[packet_index].words[bit_in_packet / 64] |= std::uint64_t{1} << (bit_in_packet % 64);
+    }
+  }
+  return packets;
+}
+
+OccupancyGrid unpack_grid(const std::vector<AxiPacket>& packets, std::int32_t height,
+                          std::int32_t width, std::uint32_t packet_bits) {
+  QRM_EXPECTS(packet_bits > 0 && packet_bits % 64 == 0);
+  QRM_EXPECTS(height >= 0 && width >= 0);
+  const std::uint64_t total_bits =
+      static_cast<std::uint64_t>(height) * static_cast<std::uint64_t>(width);
+  QRM_EXPECTS_MSG(static_cast<std::uint64_t>(packets.size()) * packet_bits >= total_bits,
+                  "not enough packets for the requested grid shape");
+
+  OccupancyGrid grid(height, width);
+  for (std::uint64_t bit = 0; bit < total_bits; ++bit) {
+    const AxiPacket& p = packets[bit / packet_bits];
+    const std::uint64_t bit_in_packet = bit % packet_bits;
+    const bool set = (p.words[bit_in_packet / 64] >> (bit_in_packet % 64)) & 1U;
+    if (set) {
+      grid.set({static_cast<std::int32_t>(bit / static_cast<std::uint64_t>(width)),
+                static_cast<std::int32_t>(bit % static_cast<std::uint64_t>(width))});
+    }
+  }
+  return grid;
+}
+
+}  // namespace qrm::hw

@@ -1,0 +1,80 @@
+#include "hwmodel/balance_unit.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace qrm::hw {
+
+BalanceUnit::BalanceUnit(std::string name, Fifo<RowBeat>& rows_in, std::int32_t row_count,
+                         std::int32_t target_rows, std::int32_t target_cols,
+                         std::int32_t sen_limit)
+    : Module(std::move(name)), rows_in_(rows_in), row_count_(row_count),
+      target_rows_(target_rows), target_cols_(target_cols), sen_limit_(sen_limit) {
+  QRM_EXPECTS(row_count > 0 && target_rows > 0 && target_cols > 0);
+  remaining_.reserve(static_cast<std::size_t>(row_count));
+}
+
+void BalanceUnit::eval(std::uint64_t) {
+  switch (phase_) {
+    case Phase::CountRows: {
+      // One row per cycle through the popcount tree.
+      if (rows_in_.can_pop()) {
+        const RowBeat beat = rows_in_.pop();
+        const std::uint32_t gate =
+            sen_limit_ < 0 ? beat.bits.width()
+                           : std::min(beat.bits.width(),
+                                      static_cast<std::uint32_t>(sen_limit_));
+        remaining_.push_back(static_cast<std::int32_t>(beat.bits.count_range(0, gate)));
+        ++rows_seen_;
+        if (rows_seen_ == row_count_) phase_ = Phase::GrantColumns;
+      }
+      break;
+    }
+    case Phase::GrantColumns: {
+      // One target column per cycle: grant from the rows with the largest
+      // remaining capacity (a selection network in hardware; behaviourally
+      // identical to the balance_pass greedy).
+      std::int32_t granted = 0;
+      // Select target_rows largest-capacity rows without a full sort: the
+      // capacities are small integers, so a single max-scan per grant is
+      // the faithful (and cheap) model of the selection network.
+      std::vector<std::size_t> picked;
+      picked.reserve(static_cast<std::size_t>(target_rows_));
+      for (std::int32_t g = 0; g < target_rows_; ++g) {
+        std::size_t best = remaining_.size();
+        std::int32_t best_cap = 0;
+        for (std::size_t r = 0; r < remaining_.size(); ++r) {
+          const bool already = std::find(picked.begin(), picked.end(), r) != picked.end();
+          if (!already && remaining_[r] > best_cap) {
+            best_cap = remaining_[r];
+            best = r;
+          }
+        }
+        if (best == remaining_.size()) break;  // no capacity left anywhere
+        picked.push_back(best);
+        ++granted;
+      }
+      for (const std::size_t r : picked) --remaining_[r];
+      grants_ += static_cast<std::uint64_t>(granted);
+      if (granted < target_rows_) {
+        shortfall_ += static_cast<std::uint64_t>(target_rows_ - granted);
+      }
+      ++column_cursor_;
+      if (column_cursor_ == target_cols_) phase_ = Phase::WriteBack;
+      break;
+    }
+    case Phase::WriteBack: {
+      // One row's placement streamed back per cycle.
+      ++writeback_cursor_;
+      if (writeback_cursor_ == row_count_) phase_ = Phase::Done;
+      break;
+    }
+    case Phase::Done:
+      break;
+  }
+}
+
+bool BalanceUnit::busy() const { return phase_ != Phase::Done; }
+
+}  // namespace qrm::hw

@@ -1,0 +1,30 @@
+#pragma once
+/// \file beats.hpp
+/// Stream payload types exchanged between the accelerator's modules.
+
+#include <cstdint>
+
+#include "util/bitrow.hpp"
+
+namespace qrm::hw {
+
+/// One quadrant-local line entering a Shift Kernel.
+struct RowBeat {
+  std::int32_t line = 0;  ///< quadrant-local line index
+  BitRow bits;            ///< occupancy, bit 0 = centre-most position
+  /// Number of movement records this line will produce. Negative means
+  /// "derive from the scan" (compact passes: atoms with a hole below them);
+  /// the balance unit overrides it for placement passes, whose displacement
+  /// pattern is not a pure compaction.
+  std::int32_t records_override = -1;
+};
+
+/// Scan result leaving a Shift Kernel for one line.
+struct CommandBeat {
+  std::int32_t line = 0;
+  BitRow original;        ///< the line as scanned
+  BitRow commands;        ///< shift-command bits: set where the scan saw '0'
+  std::uint32_t records = 0;  ///< movement records after empty-shift removal
+};
+
+}  // namespace qrm::hw

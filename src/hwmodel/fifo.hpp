@@ -1,0 +1,83 @@
+#pragma once
+/// \file fifo.hpp
+/// Two-phase (registered) FIFO for the cycle-level simulation.
+///
+/// During a cycle every module calls eval(), observing the FIFO state as it
+/// was at the *start* of the cycle and staging pushes/pops; Simulation then
+/// commits all FIFOs. A value pushed in cycle t is therefore first visible
+/// to consumers in cycle t+1, exactly like a registered hardware FIFO.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace qrm::hw {
+
+class FifoBase {
+ public:
+  explicit FifoBase(std::string name) : name_(std::move(name)) {}
+  virtual ~FifoBase() = default;
+  FifoBase(const FifoBase&) = delete;
+  FifoBase& operator=(const FifoBase&) = delete;
+
+  virtual void commit() = 0;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+};
+
+template <typename T>
+class Fifo final : public FifoBase {
+ public:
+  Fifo(std::string name, std::size_t capacity) : FifoBase(std::move(name)), capacity_(capacity) {
+    QRM_EXPECTS(capacity > 0);
+  }
+
+  /// True when a pop this cycle would succeed (state at cycle start).
+  [[nodiscard]] bool can_pop() const noexcept { return staged_pops_ < items_.size(); }
+  /// Next item that pop() would consume. Precondition: can_pop().
+  [[nodiscard]] const T& front() const {
+    QRM_EXPECTS(can_pop());
+    return items_[staged_pops_];
+  }
+  /// Stage a pop; takes effect at commit().
+  T pop() {
+    QRM_EXPECTS(can_pop());
+    return items_[staged_pops_++];
+  }
+
+  /// True when a push this cycle would fit (committed occupancy + already
+  /// staged pushes; staged pops do NOT free space until next cycle, like a
+  /// full-throughput hardware FIFO with registered occupancy would at worst).
+  [[nodiscard]] bool can_push() const noexcept {
+    return items_.size() + staged_pushes_.size() < capacity_;
+  }
+  void push(T value) {
+    QRM_EXPECTS_MSG(can_push(), "push into full FIFO " + name());
+    staged_pushes_.push_back(std::move(value));
+  }
+
+  void commit() override {
+    for (std::size_t i = 0; i < staged_pops_; ++i) items_.pop_front();
+    staged_pops_ = 0;
+    for (auto& v : staged_pushes_) items_.push_back(std::move(v));
+    total_pushed_ += staged_pushes_.size();
+    staged_pushes_.clear();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty() && staged_pushes_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] std::uint64_t total_pushed() const noexcept { return total_pushed_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::deque<T> staged_pushes_;
+  std::size_t staged_pops_ = 0;
+  std::uint64_t total_pushed_ = 0;
+};
+
+}  // namespace qrm::hw

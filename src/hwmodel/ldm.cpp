@@ -1,0 +1,81 @@
+#include "hwmodel/ldm.hpp"
+
+#include "util/assert.hpp"
+
+namespace qrm::hw {
+
+PacketSource::PacketSource(std::string name, std::vector<AxiPacket> packets,
+                           Fifo<AxiPacket>& out, std::uint32_t read_latency)
+    : Module(std::move(name)), packets_(std::move(packets)), out_(out),
+      read_latency_(read_latency) {}
+
+void PacketSource::eval(std::uint64_t) {
+  if (cycles_waited_ < read_latency_) {
+    ++cycles_waited_;
+    return;
+  }
+  if (next_ < packets_.size() && out_.can_push()) {
+    out_.push(packets_[next_++]);
+  }
+}
+
+bool PacketSource::busy() const { return next_ < packets_.size(); }
+
+LoadDataModule::LoadDataModule(std::string name, std::int32_t height, std::int32_t width,
+                               std::uint32_t packet_bits, Fifo<AxiPacket>& in,
+                               std::array<Fifo<RowBeat>*, 4> row_out)
+    : Module(std::move(name)), height_(height), width_(width), packet_bits_(packet_bits),
+      in_(in), row_out_(row_out), geometry_(height, width) {
+  QRM_EXPECTS(packet_bits > 0 && packet_bits % 64 == 0);
+  bit_buffer_.assign(static_cast<std::size_t>(height) * static_cast<std::size_t>(width), false);
+}
+
+void LoadDataModule::eval(std::uint64_t) {
+  // Consume one packet per cycle.
+  if (in_.can_pop()) {
+    const AxiPacket packet = in_.pop();
+    const std::uint64_t total_bits =
+        static_cast<std::uint64_t>(height_) * static_cast<std::uint64_t>(width_);
+    for (std::uint32_t b = 0; b < packet_bits_ && bits_received_ < total_bits;
+         ++b, ++bits_received_) {
+      const bool set = (packet.words[b / 64] >> (b % 64)) & 1U;
+      bit_buffer_[static_cast<std::size_t>(bits_received_)] = set;
+    }
+  }
+
+  // Emit the next global row once all its bits have arrived. The west and
+  // east Load Vector units run in parallel, so both half-rows go out in the
+  // same cycle. One global row per cycle.
+  if (next_row_ < height_ &&
+      bits_received_ >= static_cast<std::uint64_t>(next_row_ + 1) *
+                            static_cast<std::uint64_t>(width_)) {
+    const std::int32_t qw = geometry_.local_width();
+    const std::int32_t r = next_row_;
+    for (const Quadrant q : kAllQuadrants) {
+      const Region region = geometry_.global_region(q);
+      if (r < region.row0 || r >= region.row_end()) continue;
+      // Build the local row: local col j corresponds to a global column via
+      // quadrant geometry (mirrors the W-side halves).
+      RowBeat beat;
+      beat.line = geometry_.to_local(q, {r, region.col0}).row;
+      BitRow bits(static_cast<std::uint32_t>(qw));
+      for (std::int32_t j = 0; j < qw; ++j) {
+        const Coord global = geometry_.to_global(q, {beat.line, j});
+        const std::size_t index = static_cast<std::size_t>(global.row) *
+                                      static_cast<std::size_t>(width_) +
+                                  static_cast<std::size_t>(global.col);
+        if (bit_buffer_[index]) bits.set(static_cast<std::uint32_t>(j));
+      }
+      beat.bits = std::move(bits);
+      Fifo<RowBeat>* out = row_out_[static_cast<std::size_t>(q)];
+      QRM_ENSURES_MSG(out->can_push(), "LDM quadrant row FIFO overflow");
+      out->push(std::move(beat));
+      ++rows_emitted_;
+    }
+    ++next_row_;
+  }
+}
+
+bool LoadDataModule::busy() const { return next_row_ < height_ || in_.can_pop(); }
+
+}  // namespace qrm::hw

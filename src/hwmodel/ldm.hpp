@@ -1,0 +1,105 @@
+#pragma once
+/// \file ldm.hpp
+/// Load Data Module: consumes the AXI packet stream from DDR and feeds the
+/// four quadrant row queues, performing the QRM flips on the fly ("four
+/// Load Vector units divide the large atom array into smaller arrays...
+/// the flip operation is automatically performed").
+///
+/// The packet source models DDR read latency followed by one beat per
+/// cycle; the LDM emits both half-rows of a completed global row in the
+/// same cycle (the four Load Vector units are parallel hardware).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hwmodel/axi.hpp"
+#include "hwmodel/beats.hpp"
+#include "hwmodel/fifo.hpp"
+#include "hwmodel/sim.hpp"
+#include "lattice/quadrant.hpp"
+
+namespace qrm::hw {
+
+/// Streams pre-packed AXI beats into a FIFO: idle for `read_latency` cycles,
+/// then one beat per cycle.
+class PacketSource final : public Module {
+ public:
+  PacketSource(std::string name, std::vector<AxiPacket> packets, Fifo<AxiPacket>& out,
+               std::uint32_t read_latency);
+  void eval(std::uint64_t cycle) override;
+  [[nodiscard]] bool busy() const override;
+
+ private:
+  std::vector<AxiPacket> packets_;
+  Fifo<AxiPacket>& out_;
+  std::uint32_t read_latency_;
+  std::size_t next_ = 0;
+  std::uint64_t cycles_waited_ = 0;
+};
+
+/// The Load Data Module proper: packets in, four quadrant-local row streams
+/// out. Rows are emitted in global top-to-bottom order; the north quadrants
+/// therefore receive their local rows in descending line order (the kernel
+/// is line-order agnostic — each row is independent).
+class LoadDataModule final : public Module {
+ public:
+  LoadDataModule(std::string name, std::int32_t height, std::int32_t width,
+                 std::uint32_t packet_bits, Fifo<AxiPacket>& in,
+                 std::array<Fifo<RowBeat>*, 4> row_out);
+  void eval(std::uint64_t cycle) override;
+  [[nodiscard]] bool busy() const override;
+
+  [[nodiscard]] std::uint64_t rows_emitted() const noexcept { return rows_emitted_; }
+
+ private:
+  std::int32_t height_;
+  std::int32_t width_;
+  std::uint32_t packet_bits_;
+  Fifo<AxiPacket>& in_;
+  std::array<Fifo<RowBeat>*, 4> row_out_;
+  QuadrantGeometry geometry_;
+  std::vector<bool> bit_buffer_;       ///< deserialized bits, row-major
+  std::uint64_t bits_received_ = 0;
+  std::int32_t next_row_ = 0;
+  std::uint64_t rows_emitted_ = 0;
+};
+
+/// Swallows row beats at one per cycle; used to close the load-phase
+/// pipeline (the QPM input buffers absorb rows as fast as the LDM feeds
+/// them).
+class RowSink final : public Module {
+ public:
+  RowSink(std::string name, Fifo<RowBeat>& in) : Module(std::move(name)), in_(in) {}
+  void eval(std::uint64_t) override {
+    if (in_.can_pop()) {
+      rows_.push_back(in_.pop());
+    }
+  }
+  [[nodiscard]] bool busy() const override { return in_.can_pop(); }
+  [[nodiscard]] const std::vector<RowBeat>& rows() const noexcept { return rows_; }
+
+ private:
+  Fifo<RowBeat>& in_;
+  std::vector<RowBeat> rows_;
+};
+
+/// Feeds a prepared list of row beats into a kernel, one per cycle.
+class RowSource final : public Module {
+ public:
+  RowSource(std::string name, std::vector<RowBeat> rows, Fifo<RowBeat>& out)
+      : Module(std::move(name)), rows_(std::move(rows)), out_(out) {}
+  void eval(std::uint64_t) override {
+    if (next_ < rows_.size() && out_.can_push()) {
+      out_.push(rows_[next_++]);
+    }
+  }
+  [[nodiscard]] bool busy() const override { return next_ < rows_.size(); }
+
+ private:
+  std::vector<RowBeat> rows_;
+  Fifo<RowBeat>& out_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace qrm::hw

@@ -1,0 +1,39 @@
+#include "hwmodel/ocm.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace qrm::hw {
+
+OutputConcatModule::OutputConcatModule(std::string name, std::array<Fifo<CommandBeat>*, 4> in,
+                                       std::uint32_t drain_width)
+    : Module(std::move(name)), in_(in), drain_width_(drain_width) {
+  QRM_EXPECTS(drain_width > 0);
+}
+
+void OutputConcatModule::eval(std::uint64_t) {
+  // Row Combination: process one command buffer from each quadrant per
+  // cycle ("all four command buffers are processed at the same time").
+  for (Fifo<CommandBeat>* fifo : in_) {
+    if (fifo != nullptr && fifo->can_pop()) {
+      const CommandBeat beat = fifo->pop();
+      pending_records_ += beat.records;
+      ++beats_consumed_;
+    }
+  }
+  // Output stream: serialize up to drain_width records this cycle.
+  const std::uint64_t drained = std::min<std::uint64_t>(pending_records_, drain_width_);
+  pending_records_ -= drained;
+  records_emitted_ += drained;
+}
+
+bool OutputConcatModule::busy() const {
+  if (pending_records_ > 0) return true;
+  for (const Fifo<CommandBeat>* fifo : in_) {
+    if (fifo != nullptr && fifo->can_pop()) return true;
+  }
+  return false;
+}
+
+}  // namespace qrm::hw

@@ -1,0 +1,40 @@
+#pragma once
+/// \file ocm.hpp
+/// Output Concatenation Module: the Movement Recording + Row Combination +
+/// output-stream stage of Fig. 5.
+///
+/// All four quadrants' shift-command buffers are consumed simultaneously
+/// (one beat per quadrant per cycle, as the paper describes); empty shifts
+/// contribute no records. Accumulated movement records then drain into the
+/// output stream at `drain_width` records per cycle.
+
+#include <array>
+#include <cstdint>
+
+#include "hwmodel/beats.hpp"
+#include "hwmodel/fifo.hpp"
+#include "hwmodel/sim.hpp"
+
+namespace qrm::hw {
+
+class OutputConcatModule final : public Module {
+ public:
+  OutputConcatModule(std::string name, std::array<Fifo<CommandBeat>*, 4> in,
+                     std::uint32_t drain_width);
+
+  void eval(std::uint64_t cycle) override;
+  [[nodiscard]] bool busy() const override;
+
+  /// Total movement records emitted so far (post empty-shift elimination).
+  [[nodiscard]] std::uint64_t records_emitted() const noexcept { return records_emitted_; }
+  [[nodiscard]] std::uint64_t beats_consumed() const noexcept { return beats_consumed_; }
+
+ private:
+  std::array<Fifo<CommandBeat>*, 4> in_;
+  std::uint32_t drain_width_;
+  std::uint64_t pending_records_ = 0;
+  std::uint64_t records_emitted_ = 0;
+  std::uint64_t beats_consumed_ = 0;
+};
+
+}  // namespace qrm::hw

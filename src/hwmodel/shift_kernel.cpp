@@ -1,0 +1,88 @@
+#include "hwmodel/shift_kernel.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace qrm::hw {
+
+ShiftKernel::ShiftKernel(std::string name, Fifo<RowBeat>& in, Fifo<CommandBeat>& out,
+                         std::int32_t sen_limit)
+    : Module(std::move(name)), in_(in), out_(out), sen_limit_(sen_limit) {}
+
+void ShiftKernel::eval(std::uint64_t cycle) {
+  // 1. Advance every in-flight scan by one bit position.
+  std::vector<Scan> still_running;
+  still_running.reserve(in_flight_.size());
+  for (Scan& scan : in_flight_) {
+    const std::uint32_t width = scan.original.width();
+    const bool gated =
+        sen_limit_ >= 0 && scan.bit_index >= static_cast<std::uint32_t>(sen_limit_);
+    const bool bit_set = width != 0 && scan.shifting.test(0);
+    if (!bit_set && !gated && scan.bit_index < width) {
+      scan.commands.set(scan.bit_index);  // "record whether the shifted value is 0"
+    }
+    scan.shifting.shift_toward_lsb(1);
+    ++scan.bit_index;
+
+    if (trace_enabled_) {
+      std::ostringstream os;
+      os << "cycle " << cycle << ": " << name() << " row " << scan.line << " bit "
+         << (scan.bit_index - 1) << " = " << (bit_set ? '1' : '0')
+         << (gated ? " (gated)" : (bit_set ? " -> column buffer" : " -> shift command"));
+      trace_.push_back(os.str());
+    }
+
+    if (scan.bit_index >= width) {
+      // Scan complete: emit the command beat. Empty shifts are removed from
+      // the record count (atoms with zero displacement produce no record).
+      CommandBeat beat;
+      beat.line = scan.line;
+      beat.original = scan.original;
+      beat.commands = scan.commands;
+      if (scan.records_override >= 0) {
+        beat.records = static_cast<std::uint32_t>(scan.records_override);
+      } else {
+        std::uint32_t records = 0;
+        std::uint32_t holes = 0;
+        for (std::uint32_t i = 0; i < width; ++i) {
+          const bool gated_pos =
+              sen_limit_ >= 0 && i >= static_cast<std::uint32_t>(sen_limit_);
+          if (gated_pos) break;  // gate: no commands and no records beyond it
+          if (scan.commands.test(i)) {
+            ++holes;
+          } else if (scan.original.test(i) && holes > 0) {
+            ++records;
+          }
+        }
+        beat.records = records;
+      }
+      QRM_ENSURES_MSG(out_.can_push(), "shift kernel output FIFO overflow");
+      out_.push(std::move(beat));
+      ++rows_processed_;
+    } else {
+      still_running.push_back(std::move(scan));
+    }
+  }
+  in_flight_ = std::move(still_running);
+
+  // 2. Admit at most one new row per cycle (fully pipelined input).
+  if (in_.can_pop()) {
+    RowBeat beat = in_.pop();
+    Scan scan{beat.line, beat.bits, beat.bits, BitRow(beat.bits.width()), 0,
+              beat.records_override};
+    if (trace_enabled_) {
+      std::ostringstream os;
+      os << "cycle " << cycle << ": " << name() << " admits row " << beat.line << " ("
+         << beat.bits.to_string() << ")";
+      trace_.push_back(os.str());
+    }
+    in_flight_.push_back(std::move(scan));
+    peak_in_flight_ = std::max(peak_in_flight_, in_flight_.size());
+  }
+}
+
+bool ShiftKernel::busy() const { return !in_flight_.empty() || in_.can_pop(); }
+
+}  // namespace qrm::hw

@@ -1,0 +1,64 @@
+#pragma once
+/// \file shift_kernel.hpp
+/// Cycle-level model of the paper's Shift Kernel (Sec. IV-C, Fig. 6).
+///
+/// The kernel admits one row per cycle from its input queue. Each in-flight
+/// row is scanned one bit per cycle from the LSB (the centre-most trap): a
+/// '1' contributes to the corresponding column buffer, a '0' sets the shift
+/// command bit for that position, and the row register shifts right to
+/// expose the next bit. A row of width Q_w therefore completes Q_w cycles
+/// after admission, and a full pass over Q_h rows takes Q_h + Q_w cycles —
+/// the fully pipelined behaviour the paper reports.
+///
+/// The model is bit-exact: the emitted shift-command bits are the hole map
+/// whose prefix popcount is each atom's compaction displacement, which the
+/// tests cross-check against the behavioural planner.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hwmodel/beats.hpp"
+#include "hwmodel/fifo.hpp"
+#include "hwmodel/sim.hpp"
+
+namespace qrm::hw {
+
+class ShiftKernel final : public Module {
+ public:
+  /// `sen_limit`: positions at or beyond the gate are not scanned for shift
+  /// commands (the paper's manual s_en mechanism); negative disables.
+  ShiftKernel(std::string name, Fifo<RowBeat>& in, Fifo<CommandBeat>& out,
+              std::int32_t sen_limit = -1);
+
+  void eval(std::uint64_t cycle) override;
+  [[nodiscard]] bool busy() const override;
+
+  /// Enable per-cycle text tracing (the Fig. 6 walk-through example).
+  void enable_trace() { trace_enabled_ = true; }
+  [[nodiscard]] const std::vector<std::string>& trace() const noexcept { return trace_; }
+
+  [[nodiscard]] std::uint64_t rows_processed() const noexcept { return rows_processed_; }
+  [[nodiscard]] std::size_t peak_in_flight() const noexcept { return peak_in_flight_; }
+
+ private:
+  struct Scan {
+    std::int32_t line;
+    BitRow shifting;   ///< row register, shifted right one bit per cycle
+    BitRow original;   ///< as admitted (for verification and records)
+    BitRow commands;   ///< accumulated shift commands
+    std::uint32_t bit_index = 0;
+    std::int32_t records_override;
+  };
+
+  Fifo<RowBeat>& in_;
+  Fifo<CommandBeat>& out_;
+  std::int32_t sen_limit_;
+  std::vector<Scan> in_flight_;
+  std::uint64_t rows_processed_ = 0;
+  std::size_t peak_in_flight_ = 0;
+  bool trace_enabled_ = false;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace qrm::hw

@@ -1,0 +1,23 @@
+#include "hwmodel/sim.hpp"
+
+namespace qrm::hw {
+
+bool Simulation::all_idle() const {
+  for (const Module* m : modules_)
+    if (m->busy()) return false;
+  return true;
+}
+
+std::uint64_t Simulation::run(std::uint64_t max_cycles) {
+  std::uint64_t executed = 0;
+  while (!all_idle()) {
+    QRM_ENSURES_MSG(executed < max_cycles, "simulation stalled (deadlock or runaway)");
+    for (Module* m : modules_) m->eval(cycle_);
+    for (FifoBase* f : fifos_) f->commit();
+    ++cycle_;
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace qrm::hw

@@ -1,0 +1,54 @@
+#pragma once
+/// \file sim.hpp
+/// Minimal clocked-simulation kernel: modules evaluated every cycle against
+/// start-of-cycle FIFO state, then all FIFOs commit (two-phase clocking).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hwmodel/fifo.hpp"
+
+namespace qrm::hw {
+
+/// A synchronous hardware block. eval() is called once per cycle and may
+/// stage FIFO pushes/pops and update internal registers; busy() reports
+/// whether the module still has in-flight work.
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  virtual void eval(std::uint64_t cycle) = 0;
+  [[nodiscard]] virtual bool busy() const = 0;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Owns nothing; orchestrates registered modules and FIFOs.
+class Simulation {
+ public:
+  void add_module(Module& m) { modules_.push_back(&m); }
+  void add_fifo(FifoBase& f) { fifos_.push_back(&f); }
+
+  /// Run until every module reports idle and every FIFO has drained, or
+  /// until `max_cycles` elapse (throws InvariantError on timeout — a stall
+  /// in the model is a bug, not a result). Returns the number of cycles
+  /// simulated.
+  std::uint64_t run(std::uint64_t max_cycles = 1'000'000);
+
+  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+
+ private:
+  [[nodiscard]] bool all_idle() const;
+
+  std::vector<Module*> modules_;
+  std::vector<FifoBase*> fifos_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace qrm::hw

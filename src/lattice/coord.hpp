@@ -1,0 +1,32 @@
+#pragma once
+/// \file coord.hpp
+/// Grid coordinates. Row 0 is the top row (image convention, matching the
+/// camera bitfield the detection stage produces); column 0 is the leftmost.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace qrm {
+
+/// A trap site addressed by (row, col). Signed so that transform math
+/// (flips, quadrant-local offsets) never underflows mid-computation.
+struct Coord {
+  std::int32_t row = 0;
+  std::int32_t col = 0;
+
+  friend auto operator<=>(const Coord&, const Coord&) = default;
+};
+
+[[nodiscard]] inline std::string to_string(const Coord& c) {
+  std::string out;
+  out.reserve(16);
+  out.push_back('(');
+  out += std::to_string(c.row);
+  out.push_back(',');
+  out += std::to_string(c.col);
+  out.push_back(')');
+  return out;
+}
+
+}  // namespace qrm

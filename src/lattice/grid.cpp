@@ -1,0 +1,183 @@
+#include "lattice/grid.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace qrm {
+
+OccupancyGrid::OccupancyGrid(std::int32_t height, std::int32_t width)
+    : height_(height), width_(width) {
+  QRM_EXPECTS(height >= 0 && width >= 0);
+  rows_.assign(static_cast<std::size_t>(height), BitRow(static_cast<std::uint32_t>(width)));
+}
+
+OccupancyGrid OccupancyGrid::from_strings(const std::vector<std::string>& lines) {
+  if (lines.empty()) return {};
+  OccupancyGrid g(static_cast<std::int32_t>(lines.size()),
+                  static_cast<std::int32_t>(lines.front().size()));
+  for (std::size_t r = 0; r < lines.size(); ++r) {
+    QRM_EXPECTS_MSG(lines[r].size() == lines.front().size(), "ragged grid literal");
+    g.rows_[r] = BitRow::from_string(lines[r]);
+  }
+  return g;
+}
+
+bool OccupancyGrid::occupied(Coord c) const {
+  QRM_EXPECTS(in_bounds(c));
+  return rows_[static_cast<std::size_t>(c.row)].test(static_cast<std::uint32_t>(c.col));
+}
+
+void OccupancyGrid::set(Coord c, bool value) {
+  QRM_EXPECTS(in_bounds(c));
+  rows_[static_cast<std::size_t>(c.row)].set(static_cast<std::uint32_t>(c.col), value);
+}
+
+std::int64_t OccupancyGrid::atom_count() const noexcept {
+  std::int64_t n = 0;
+  for (const auto& r : rows_) n += r.count();
+  return n;
+}
+
+std::int64_t OccupancyGrid::atom_count(const Region& region) const {
+  QRM_EXPECTS(region.within(height_, width_));
+  std::int64_t n = 0;
+  for (std::int32_t r = region.row0; r < region.row_end(); ++r) {
+    n += rows_[static_cast<std::size_t>(r)].count_range(static_cast<std::uint32_t>(region.col0),
+                                                        static_cast<std::uint32_t>(region.col_end()));
+  }
+  return n;
+}
+
+bool OccupancyGrid::region_full(const Region& region) const {
+  return atom_count(region) == region.area();
+}
+
+std::vector<Coord> OccupancyGrid::defects(const Region& region) const {
+  QRM_EXPECTS(region.within(height_, width_));
+  std::vector<Coord> out;
+  for (std::int32_t r = region.row0; r < region.row_end(); ++r)
+    for (std::int32_t c = region.col0; c < region.col_end(); ++c)
+      if (!occupied({r, c})) out.push_back({r, c});
+  return out;
+}
+
+std::vector<Coord> OccupancyGrid::atom_positions() const {
+  std::vector<Coord> out;
+  out.reserve(static_cast<std::size_t>(atom_count()));
+  for (std::int32_t r = 0; r < height_; ++r) {
+    rows_[static_cast<std::size_t>(r)].for_each_set(
+        [&out, r](std::uint32_t c) { out.push_back({r, static_cast<std::int32_t>(c)}); });
+  }
+  return out;
+}
+
+const BitRow& OccupancyGrid::row(std::int32_t r) const {
+  QRM_EXPECTS(r >= 0 && r < height_);
+  return rows_[static_cast<std::size_t>(r)];
+}
+
+void OccupancyGrid::set_row(std::int32_t r, BitRow bits) {
+  QRM_EXPECTS(r >= 0 && r < height_);
+  QRM_EXPECTS_MSG(bits.width() == static_cast<std::uint32_t>(width_), "row width mismatch");
+  rows_[static_cast<std::size_t>(r)] = std::move(bits);
+}
+
+BitRow OccupancyGrid::column(std::int32_t c) const {
+  QRM_EXPECTS(c >= 0 && c < width_);
+  BitRow out(static_cast<std::uint32_t>(height_));
+  for (std::int32_t r = 0; r < height_; ++r)
+    if (occupied({r, c})) out.set(static_cast<std::uint32_t>(r));
+  return out;
+}
+
+void OccupancyGrid::set_column(std::int32_t c, const BitRow& bits) {
+  QRM_EXPECTS(c >= 0 && c < width_);
+  QRM_EXPECTS_MSG(bits.width() == static_cast<std::uint32_t>(height_), "column height mismatch");
+  for (std::int32_t r = 0; r < height_; ++r)
+    set({r, c}, bits.test(static_cast<std::uint32_t>(r)));
+}
+
+Coord OccupancyGrid::map_coord(Flip flip, Coord c) const {
+  switch (flip) {
+    case Flip::None: return c;
+    case Flip::Horizontal: return {c.row, width_ - 1 - c.col};
+    case Flip::Vertical: return {height_ - 1 - c.row, c.col};
+    case Flip::Transpose: return {c.col, c.row};
+    case Flip::Rotate180: return {height_ - 1 - c.row, width_ - 1 - c.col};
+  }
+  QRM_ENSURES_MSG(false, "unknown flip");
+  return c;
+}
+
+OccupancyGrid OccupancyGrid::flipped(Flip flip) const {
+  const std::int32_t out_h = (flip == Flip::Transpose) ? width_ : height_;
+  const std::int32_t out_w = (flip == Flip::Transpose) ? height_ : width_;
+  OccupancyGrid out(out_h, out_w);
+  switch (flip) {
+    case Flip::None:
+      out.rows_ = rows_;
+      break;
+    case Flip::Horizontal:
+      for (std::int32_t r = 0; r < height_; ++r)
+        out.rows_[static_cast<std::size_t>(r)] = rows_[static_cast<std::size_t>(r)].reversed();
+      break;
+    case Flip::Vertical:
+      for (std::int32_t r = 0; r < height_; ++r)
+        out.rows_[static_cast<std::size_t>(height_ - 1 - r)] = rows_[static_cast<std::size_t>(r)];
+      break;
+    case Flip::Transpose:
+      for (std::int32_t c = 0; c < width_; ++c)
+        out.rows_[static_cast<std::size_t>(c)] = column(c);
+      break;
+    case Flip::Rotate180:
+      for (std::int32_t r = 0; r < height_; ++r)
+        out.rows_[static_cast<std::size_t>(height_ - 1 - r)] =
+            rows_[static_cast<std::size_t>(r)].reversed();
+      break;
+  }
+  return out;
+}
+
+OccupancyGrid OccupancyGrid::subgrid(const Region& region) const {
+  QRM_EXPECTS(region.within(height_, width_));
+  OccupancyGrid out(region.rows, region.cols);
+  for (std::int32_t r = 0; r < region.rows; ++r)
+    for (std::int32_t c = 0; c < region.cols; ++c)
+      if (occupied({region.row0 + r, region.col0 + c})) out.set({r, c});
+  return out;
+}
+
+void OccupancyGrid::set_subgrid(const Region& region, const OccupancyGrid& content) {
+  QRM_EXPECTS(region.within(height_, width_));
+  QRM_EXPECTS(content.height() == region.rows && content.width() == region.cols);
+  for (std::int32_t r = 0; r < region.rows; ++r)
+    for (std::int32_t c = 0; c < region.cols; ++c)
+      set({region.row0 + r, region.col0 + c}, content.occupied({r, c}));
+}
+
+std::string OccupancyGrid::to_art() const {
+  std::ostringstream os;
+  for (std::int32_t r = 0; r < height_; ++r)
+    os << rows_[static_cast<std::size_t>(r)].to_art() << '\n';
+  return os.str();
+}
+
+std::string OccupancyGrid::to_art(const Region& highlight) const {
+  QRM_EXPECTS(highlight.within(height_, width_));
+  std::ostringstream os;
+  for (std::int32_t r = 0; r < height_; ++r) {
+    for (std::int32_t c = 0; c < width_; ++c) {
+      const bool occ = occupied({r, c});
+      if (highlight.contains({r, c})) {
+        os << (occ ? 'O' : 'x');
+      } else {
+        os << (occ ? '#' : '.');
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qrm

@@ -1,0 +1,99 @@
+#include "lattice/quadrant.hpp"
+
+#include "util/assert.hpp"
+
+namespace qrm {
+
+QuadrantGeometry::QuadrantGeometry(std::int32_t height, std::int32_t width)
+    : height_(height), width_(width) {
+  QRM_EXPECTS_MSG(height > 0 && width > 0, "quadrant geometry needs a non-empty grid");
+  QRM_EXPECTS_MSG(height % 2 == 0 && width % 2 == 0,
+                  "QRM quadrant split requires even height and width");
+}
+
+Region QuadrantGeometry::global_region(Quadrant q) const noexcept {
+  const std::int32_t qh = local_height();
+  const std::int32_t qw = local_width();
+  switch (q) {
+    case Quadrant::NW: return {0, 0, qh, qw};
+    case Quadrant::NE: return {0, qw, qh, qw};
+    case Quadrant::SW: return {qh, 0, qh, qw};
+    case Quadrant::SE: return {qh, qw, qh, qw};
+  }
+  return {};
+}
+
+Flip QuadrantGeometry::flip_of(Quadrant q) noexcept {
+  switch (q) {
+    case Quadrant::NW: return Flip::Rotate180;
+    case Quadrant::NE: return Flip::Vertical;
+    case Quadrant::SW: return Flip::Horizontal;
+    case Quadrant::SE: return Flip::None;
+  }
+  return Flip::None;
+}
+
+Quadrant QuadrantGeometry::quadrant_of(Coord global) const {
+  QRM_EXPECTS(global.row >= 0 && global.row < height_ && global.col >= 0 && global.col < width_);
+  const bool south = global.row >= local_height();
+  const bool east = global.col >= local_width();
+  if (!south && !east) return Quadrant::NW;
+  if (!south && east) return Quadrant::NE;
+  if (south && !east) return Quadrant::SW;
+  return Quadrant::SE;
+}
+
+Coord QuadrantGeometry::to_local(Quadrant q, Coord global) const {
+  QRM_EXPECTS_MSG(global_region(q).contains(global), "coordinate not in requested quadrant");
+  const std::int32_t qh = local_height();
+  const std::int32_t qw = local_width();
+  switch (q) {
+    case Quadrant::NW: return {qh - 1 - global.row, qw - 1 - global.col};
+    case Quadrant::NE: return {qh - 1 - global.row, global.col - qw};
+    case Quadrant::SW: return {global.row - qh, qw - 1 - global.col};
+    case Quadrant::SE: return {global.row - qh, global.col - qw};
+  }
+  return global;
+}
+
+Coord QuadrantGeometry::to_global(Quadrant q, Coord local) const {
+  QRM_EXPECTS(local.row >= 0 && local.row < local_height() && local.col >= 0 &&
+              local.col < local_width());
+  const std::int32_t qh = local_height();
+  const std::int32_t qw = local_width();
+  switch (q) {
+    case Quadrant::NW: return {qh - 1 - local.row, qw - 1 - local.col};
+    case Quadrant::NE: return {qh - 1 - local.row, qw + local.col};
+    case Quadrant::SW: return {qh + local.row, qw - 1 - local.col};
+    case Quadrant::SE: return {qh + local.row, qw + local.col};
+  }
+  return local;
+}
+
+Direction QuadrantGeometry::to_global_direction(Quadrant q, Direction local) noexcept {
+  // Horizontal sense inverts for the west-side quadrants, vertical sense for
+  // the north-side quadrants (their local axes point away from the centre).
+  const bool invert_horizontal = (q == Quadrant::NW || q == Quadrant::SW);
+  const bool invert_vertical = (q == Quadrant::NW || q == Quadrant::NE);
+  if (is_horizontal(local)) return invert_horizontal ? opposite(local) : local;
+  return invert_vertical ? opposite(local) : local;
+}
+
+Direction QuadrantGeometry::to_local_direction(Quadrant q, Direction global) noexcept {
+  return to_global_direction(q, global);  // mirrors are involutions
+}
+
+OccupancyGrid QuadrantGeometry::extract_local(const OccupancyGrid& grid, Quadrant q) const {
+  QRM_EXPECTS(grid.height() == height_ && grid.width() == width_);
+  return grid.subgrid(global_region(q)).flipped(flip_of(q));
+}
+
+void QuadrantGeometry::write_back(OccupancyGrid& grid, Quadrant q,
+                                  const OccupancyGrid& local) const {
+  QRM_EXPECTS(grid.height() == height_ && grid.width() == width_);
+  QRM_EXPECTS(local.height() == local_height() && local.width() == local_width());
+  // flip_of(q) is self-inverse for every quadrant (None/H/V/Rot180).
+  grid.set_subgrid(global_region(q), local.flipped(flip_of(q)));
+}
+
+}  // namespace qrm

@@ -1,0 +1,24 @@
+#include "lattice/region.hpp"
+
+#include "util/assert.hpp"
+
+namespace qrm {
+
+Region centered_region(std::int32_t height, std::int32_t width, std::int32_t target_rows,
+                       std::int32_t target_cols) {
+  QRM_EXPECTS(height > 0 && width > 0 && target_rows > 0 && target_cols > 0);
+  QRM_EXPECTS_MSG(target_rows <= height && target_cols <= width,
+                  "target region must fit inside the grid");
+  Region r;
+  r.rows = target_rows;
+  r.cols = target_cols;
+  r.row0 = (height - target_rows) / 2;
+  r.col0 = (width - target_cols) / 2;
+  return r;
+}
+
+Region centered_square(std::int32_t grid_size, std::int32_t target_size) {
+  return centered_region(grid_size, grid_size, target_size, target_size);
+}
+
+}  // namespace qrm

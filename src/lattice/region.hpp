@@ -1,0 +1,46 @@
+#pragma once
+/// \file region.hpp
+/// Rectangular regions of the trap lattice; used for the compact target area
+/// ("the red square" of the paper's Fig. 3) and for sub-grid extraction.
+
+#include <cstdint>
+
+#include "lattice/coord.hpp"
+
+namespace qrm {
+
+/// Half-open rectangle [row0, row0+rows) x [col0, col0+cols).
+struct Region {
+  std::int32_t row0 = 0;
+  std::int32_t col0 = 0;
+  std::int32_t rows = 0;
+  std::int32_t cols = 0;
+
+  [[nodiscard]] std::int32_t row_end() const noexcept { return row0 + rows; }
+  [[nodiscard]] std::int32_t col_end() const noexcept { return col0 + cols; }
+  [[nodiscard]] std::int64_t area() const noexcept {
+    return static_cast<std::int64_t>(rows) * cols;
+  }
+  [[nodiscard]] bool contains(Coord c) const noexcept {
+    return c.row >= row0 && c.row < row_end() && c.col >= col0 && c.col < col_end();
+  }
+  /// True when this rectangle lies within a height x width grid.
+  [[nodiscard]] bool within(std::int32_t height, std::int32_t width) const noexcept {
+    return row0 >= 0 && col0 >= 0 && rows >= 0 && cols >= 0 && row_end() <= height &&
+           col_end() <= width;
+  }
+
+  friend bool operator==(const Region&, const Region&) = default;
+};
+
+/// The centred target region used throughout the paper: a target_rows x
+/// target_cols rectangle centred in a height x width grid. When the margins
+/// are odd the extra site goes to the bottom/right, matching integer centre
+/// placement. Throws if the target does not fit.
+[[nodiscard]] Region centered_region(std::int32_t height, std::int32_t width,
+                                     std::int32_t target_rows, std::int32_t target_cols);
+
+/// Square convenience overload: T x T target centred in a W x W grid.
+[[nodiscard]] Region centered_square(std::int32_t grid_size, std::int32_t target_size);
+
+}  // namespace qrm

@@ -1,0 +1,92 @@
+#include "loading/loader.hpp"
+
+#include "util/assert.hpp"
+
+namespace qrm {
+
+OccupancyGrid load_random(std::int32_t height, std::int32_t width, const LoaderConfig& config) {
+  QRM_EXPECTS(height >= 0 && width >= 0);
+  QRM_EXPECTS(config.fill_probability >= 0.0 && config.fill_probability <= 1.0);
+  OccupancyGrid grid(height, width);
+  Rng rng(config.seed);
+  for (std::int32_t r = 0; r < height; ++r)
+    for (std::int32_t c = 0; c < width; ++c)
+      if (rng.bernoulli(config.fill_probability)) grid.set({r, c});
+  return grid;
+}
+
+OccupancyGrid load_random_at_least(std::int32_t height, std::int32_t width,
+                                   const LoaderConfig& config, std::int64_t min_atoms,
+                                   std::uint32_t max_attempts) {
+  QRM_EXPECTS(max_attempts > 0);
+  OccupancyGrid best;
+  std::int64_t best_count = -1;
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    LoaderConfig derived = config;
+    // Derive independent streams; attempt 0 uses the caller's exact seed so
+    // deterministic callers see the same grid as load_random.
+    std::uint64_t mix = config.seed + attempt;
+    derived.seed = attempt == 0 ? config.seed : splitmix64(mix);
+    OccupancyGrid grid = load_random(height, width, derived);
+    const std::int64_t count = grid.atom_count();
+    if (count >= min_atoms) return grid;
+    if (count > best_count) {
+      best_count = count;
+      best = std::move(grid);
+    }
+  }
+  return best;
+}
+
+OccupancyGrid load_clustered(std::int32_t height, std::int32_t width,
+                             const ClusteredLoaderConfig& config) {
+  OccupancyGrid grid = load_random(height, width, config.base);
+  Rng rng(config.base.seed ^ 0xC1A57E20ULL);
+  for (std::uint32_t k = 0; k < config.clusters; ++k) {
+    const auto cr = static_cast<std::int32_t>(rng.uniform_below(static_cast<std::uint32_t>(height)));
+    const auto cc = static_cast<std::int32_t>(rng.uniform_below(static_cast<std::uint32_t>(width)));
+    const std::int64_t r2 =
+        static_cast<std::int64_t>(config.cluster_radius) * config.cluster_radius;
+    for (std::int32_t r = 0; r < height; ++r) {
+      for (std::int32_t c = 0; c < width; ++c) {
+        const std::int64_t dr = r - cr;
+        const std::int64_t dc = c - cc;
+        if (dr * dr + dc * dc <= r2) grid.clear({r, c});
+      }
+    }
+  }
+  return grid;
+}
+
+OccupancyGrid load_pattern(std::int32_t height, std::int32_t width, Pattern pattern) {
+  OccupancyGrid grid(height, width);
+  for (std::int32_t r = 0; r < height; ++r) {
+    for (std::int32_t c = 0; c < width; ++c) {
+      bool occ = false;
+      switch (pattern) {
+        case Pattern::Full: occ = true; break;
+        case Pattern::Empty: occ = false; break;
+        case Pattern::Checkerboard: occ = (r + c) % 2 == 0; break;
+        case Pattern::RowStripes: occ = r % 2 == 0; break;
+        case Pattern::ColStripes: occ = c % 2 == 0; break;
+        case Pattern::Border: occ = r == 0 || c == 0 || r == height - 1 || c == width - 1; break;
+      }
+      if (occ) grid.set({r, c});
+    }
+  }
+  return grid;
+}
+
+double estimate_feasibility(std::int32_t height, std::int32_t width, double p,
+                            std::int64_t needed, std::uint32_t trials, std::uint64_t seed) {
+  QRM_EXPECTS(trials > 0);
+  std::uint32_t hits = 0;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    std::uint64_t mix = seed + t;
+    const OccupancyGrid g = load_random(height, width, {p, splitmix64(mix)});
+    if (g.atom_count() >= needed) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+}  // namespace qrm

@@ -1,0 +1,66 @@
+#pragma once
+/// \file loader.hpp
+/// Stochastic atom-loading models.
+///
+/// Physically, each optical trap captures a single atom with probability
+/// ~50% (collisional blockade). The paper evaluates on random matrices drawn
+/// from exactly this distribution; these generators reproduce that workload
+/// plus structured variants used for stress tests.
+
+#include <cstdint>
+
+#include "lattice/grid.hpp"
+#include "lattice/region.hpp"
+#include "util/rng.hpp"
+
+namespace qrm {
+
+/// Parameters of the independent-Bernoulli loading model.
+struct LoaderConfig {
+  double fill_probability = 0.5;  ///< per-trap capture probability in [0,1]
+  std::uint64_t seed = 0x5EED;    ///< RNG seed; same seed -> same pattern
+};
+
+/// Draw an independent Bernoulli occupancy for every trap.
+[[nodiscard]] OccupancyGrid load_random(std::int32_t height, std::int32_t width,
+                                        const LoaderConfig& config);
+
+/// Like load_random but retries (with derived seeds) until the grid holds at
+/// least `min_atoms` atoms; models the experimental practice of re-loading
+/// until enough atoms are present. Gives up after `max_attempts` and returns
+/// the best attempt.
+[[nodiscard]] OccupancyGrid load_random_at_least(std::int32_t height, std::int32_t width,
+                                                 const LoaderConfig& config,
+                                                 std::int64_t min_atoms,
+                                                 std::uint32_t max_attempts = 64);
+
+/// Clustered-defect loader: Bernoulli loading followed by `clusters` circular
+/// blast regions of radius `cluster_radius` being emptied. Models correlated
+/// loss (stray light, collisions) that stresses rearrangement balance.
+struct ClusteredLoaderConfig {
+  LoaderConfig base;
+  std::uint32_t clusters = 3;
+  std::int32_t cluster_radius = 2;
+};
+[[nodiscard]] OccupancyGrid load_clustered(std::int32_t height, std::int32_t width,
+                                           const ClusteredLoaderConfig& config);
+
+/// Deterministic patterns for unit tests and worst-case studies.
+enum class Pattern {
+  Full,          ///< every trap occupied
+  Empty,         ///< no atoms
+  Checkerboard,  ///< (r+c) even occupied — exactly 50% fill, adversarial for row balance
+  RowStripes,    ///< even rows full, odd rows empty — worst case for column balance
+  ColStripes,    ///< even columns full — worst case for row compaction
+  Border,        ///< only the outermost ring occupied — maximal travel distance
+};
+[[nodiscard]] OccupancyGrid load_pattern(std::int32_t height, std::int32_t width, Pattern pattern);
+
+/// Probability that a Bernoulli(p) load of a height x width grid yields at
+/// least `needed` atoms, from `trials` Monte-Carlo draws. Used to size
+/// experiments so rearrangement is feasible.
+[[nodiscard]] double estimate_feasibility(std::int32_t height, std::int32_t width, double p,
+                                          std::int64_t needed, std::uint32_t trials,
+                                          std::uint64_t seed);
+
+}  // namespace qrm

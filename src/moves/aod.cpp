@@ -1,0 +1,140 @@
+#include "moves/aod.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "moves/executor.hpp"
+#include "util/assert.hpp"
+
+namespace qrm {
+
+namespace {
+
+/// Sort sites so that atoms nearest the destination side ("front" of the
+/// motion) come first; chain followers then see their leaders handled first.
+std::vector<Coord> front_first(std::span<const Coord> sites, Direction dir) {
+  std::vector<Coord> out(sites.begin(), sites.end());
+  const auto key_less = [dir](const Coord& a, const Coord& b) {
+    switch (dir) {
+      case Direction::West: return a.col != b.col ? a.col < b.col : a.row < b.row;
+      case Direction::East: return a.col != b.col ? a.col > b.col : a.row < b.row;
+      case Direction::North: return a.row != b.row ? a.row < b.row : a.col < b.col;
+      case Direction::South: return a.row != b.row ? a.row > b.row : a.col < b.col;
+    }
+    return a < b;
+  };
+  std::sort(out.begin(), out.end(), key_less);
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> aod_violation(const OccupancyGrid& grid, const ParallelMove& move) {
+  std::set<std::int32_t> rows;
+  std::set<std::int32_t> cols;
+  std::set<Coord> members(move.sites.begin(), move.sites.end());
+  for (const Coord& s : move.sites) {
+    rows.insert(s.row);
+    cols.insert(s.col);
+  }
+  for (const std::int32_t r : rows) {
+    for (const std::int32_t c : cols) {
+      const Coord cross{r, c};
+      if (grid.in_bounds(cross) && grid.occupied(cross) && !members.contains(cross)) {
+        return "AOD cross trap at " + qrm::to_string(cross) +
+               " holds a bystander atom not part of the move";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<ParallelMove> legalize(const OccupancyGrid& grid, std::span<const Coord> sites,
+                                   Direction dir, std::int32_t steps) {
+  QRM_EXPECTS(steps >= 1);
+  std::vector<ParallelMove> out;
+  if (sites.empty()) return out;
+
+  OccupancyGrid scratch = grid;
+  std::vector<Coord> remaining = front_first(sites, dir);
+  for (const Coord& s : remaining) {
+    QRM_EXPECTS_MSG(scratch.in_bounds(s) && scratch.occupied(s),
+                    "legalize: site must hold an atom");
+  }
+
+  // Fast path: when the whole intended set is already legal as one lockstep
+  // command (frequent for sparse rounds), skip the greedy partition.
+  {
+    ParallelMove whole{dir, steps, remaining};
+    const bool legal = !validate_move(grid, whole, /*check_aod=*/true).has_value();
+    if (legal) return {std::move(whole)};
+  }
+
+  while (!remaining.empty()) {
+    std::vector<Coord> batch;
+    std::set<Coord> batch_set;
+    std::set<std::int32_t> rows;
+    std::set<std::int32_t> cols;
+    std::vector<Coord> deferred;
+
+    for (const Coord& s : remaining) {
+      bool ok = true;
+      // Path/collision: every swept cell must be free or vacated by an atom
+      // already accepted into this lockstep batch.
+      for (std::int32_t k = 1; k <= steps && ok; ++k) {
+        const Coord cell = moved(s, dir, k);
+        if (!scratch.in_bounds(cell)) {
+          ok = false;
+        } else if (scratch.occupied(cell) && !batch_set.contains(cell)) {
+          ok = false;
+        }
+      }
+      // AOD cross-product: new traps created by adding row s.row / col s.col
+      // must not capture bystanders.
+      if (ok) {
+        for (const std::int32_t c : cols) {
+          const Coord cross{s.row, c};
+          if (scratch.occupied(cross) && !batch_set.contains(cross) && cross != s) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        for (const std::int32_t r : rows) {
+          const Coord cross{r, s.col};
+          if (scratch.occupied(cross) && !batch_set.contains(cross) && cross != s) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        batch.push_back(s);
+        batch_set.insert(s);
+        rows.insert(s.row);
+        cols.insert(s.col);
+      } else {
+        deferred.push_back(s);
+      }
+    }
+
+    QRM_ENSURES_MSG(!batch.empty(),
+                    "legalize made no progress; the intended move set is not realisable");
+
+    // Apply the batch to the scratch state: clear all sources, then set all
+    // destinations (lockstep semantics).
+    for (const Coord& s : batch) scratch.clear(s);
+    for (const Coord& s : batch) {
+      const Coord d = moved(s, dir, steps);
+      QRM_ENSURES_MSG(!scratch.occupied(d), "legalize produced a colliding batch");
+      scratch.set(d);
+    }
+
+    out.push_back(ParallelMove{dir, steps, std::move(batch)});
+    remaining = std::move(deferred);
+  }
+  return out;
+}
+
+}  // namespace qrm

@@ -1,0 +1,47 @@
+#pragma once
+/// \file executor.hpp
+/// Applies schedules to a grid with full physical validation: occupancy,
+/// bounds, lockstep collision freedom along swept paths, and (optionally)
+/// the AOD cross-product rule. This is the ground truth the tests use to
+/// prove that planned schedules are executable.
+
+#include <optional>
+#include <string>
+
+#include "lattice/grid.hpp"
+#include "moves/schedule.hpp"
+
+namespace qrm {
+
+struct ExecutionOptions {
+  bool check_aod = true;  ///< enforce the 2D-AOD cross-product legality rule
+};
+
+struct ExecutionReport {
+  bool ok = true;
+  std::size_t moves_applied = 0;
+  std::size_t atoms_displaced = 0;
+  std::string error;  ///< first violation, empty when ok
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Returns a description of the first physics violation of `move` against
+/// `grid` (occupancy, bounds, path collisions, duplicate sites, and the AOD
+/// rule when `check_aod`), or nullopt when the move is valid.
+[[nodiscard]] std::optional<std::string> validate_move(const OccupancyGrid& grid,
+                                                       const ParallelMove& move, bool check_aod);
+
+/// Apply a move assumed valid (no checks). Sources are cleared first, then
+/// destinations set, implementing lockstep semantics.
+void apply_move_unchecked(OccupancyGrid& grid, const ParallelMove& move);
+
+/// Validate then apply; throws PreconditionError on violation.
+void apply_move(OccupancyGrid& grid, const ParallelMove& move, bool check_aod = true);
+
+/// Run all moves in order, stopping at the first violation. The grid is left
+/// in the state reached so far (all-or-nothing callers should copy first).
+ExecutionReport run_schedule(OccupancyGrid& grid, const Schedule& schedule,
+                             const ExecutionOptions& options = {});
+
+}  // namespace qrm

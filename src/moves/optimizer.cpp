@@ -1,0 +1,79 @@
+#include "moves/optimizer.hpp"
+
+#include <algorithm>
+
+#include "moves/executor.hpp"
+#include "util/assert.hpp"
+
+namespace qrm {
+
+namespace {
+
+/// True when `next.sites` are exactly `pending.sites` displaced by
+/// pending.steps in pending.dir (the same atom group continuing its ride).
+bool continues_group(const ParallelMove& pending, const ParallelMove& next) {
+  if (next.dir != pending.dir || next.sites.size() != pending.sites.size()) return false;
+  std::vector<Coord> expected;
+  expected.reserve(pending.sites.size());
+  for (const Coord& s : pending.sites) expected.push_back(moved(s, pending.dir, pending.steps));
+  std::vector<Coord> actual = next.sites;
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  return expected == actual;
+}
+
+}  // namespace
+
+CoalesceResult coalesce_schedule(const OccupancyGrid& initial, const Schedule& schedule,
+                                 const CoalesceOptions& options) {
+  CoalesceResult result;
+  result.moves_before = schedule.size();
+
+  OccupancyGrid state = initial;  // grid state *before* the pending move
+  bool has_pending = false;
+  ParallelMove pending;
+
+  const auto flush = [&] {
+    if (!has_pending) return;
+    if (auto violation = validate_move(state, pending, options.check_aod)) {
+      throw PreconditionError("coalesce: input schedule invalid: " + *violation);
+    }
+    apply_move_unchecked(state, pending);
+    result.schedule.push_back(std::move(pending));
+    has_pending = false;
+  };
+
+  for (const ParallelMove& move : schedule.moves()) {
+    if (has_pending && continues_group(pending, move) &&
+        (options.max_steps <= 0 || pending.steps + move.steps <= options.max_steps)) {
+      ParallelMove merged = pending;
+      merged.steps += move.steps;
+      // The merged sweep can only collide/violate where the parts could
+      // not if intermediate moves were interleaved — re-validate to be
+      // safe and skip the merge when it fails.
+      if (!validate_move(state, merged, options.check_aod)) {
+        pending = std::move(merged);
+        continue;
+      }
+    }
+    flush();
+    pending = move;
+    has_pending = true;
+  }
+  flush();
+
+  result.moves_after = result.schedule.size();
+  return result;
+}
+
+bool schedules_equivalent(const OccupancyGrid& initial, const Schedule& a, const Schedule& b,
+                          bool check_aod) {
+  OccupancyGrid ga = initial;
+  OccupancyGrid gb = initial;
+  const ExecutionReport ra = run_schedule(ga, a, {check_aod});
+  const ExecutionReport rb = run_schedule(gb, b, {check_aod});
+  if (!ra.ok || !rb.ok) return false;
+  return ga == gb;
+}
+
+}  // namespace qrm

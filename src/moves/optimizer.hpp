@@ -1,0 +1,54 @@
+#pragma once
+/// \file optimizer.hpp
+/// Schedule post-optimisation.
+///
+/// The planner emits unit-step rounds (the hardware's natural shift-command
+/// granularity). Physically, an AWG command has a fixed settle overhead, so
+/// merging an atom group's consecutive unit steps into one multi-step ramp
+/// shortens the program. The coalescer does exactly that, preserving
+/// semantics (same final occupancy, validated against the executor) and
+/// physical legality.
+
+#include <cstdint>
+
+#include "lattice/grid.hpp"
+#include "moves/schedule.hpp"
+
+namespace qrm {
+
+struct CoalesceResult {
+  Schedule schedule;
+  std::size_t moves_before = 0;
+  std::size_t moves_after = 0;
+  /// Physical time saved under a fixed per-command overhead model, in
+  /// overhead units (commands eliminated).
+  [[nodiscard]] std::size_t commands_saved() const noexcept {
+    return moves_before - moves_after;
+  }
+};
+
+struct CoalesceOptions {
+  /// Re-check the AOD cross-product rule for merged commands; a merged
+  /// command has the same row/column sets as its parts, so this can only
+  /// fail when intermediate moves changed the bystander landscape.
+  bool check_aod = true;
+  /// Cap on the merged step count (AOD ramps lose fidelity over long
+  /// sweeps; 0 = unlimited).
+  std::int32_t max_steps = 0;
+};
+
+/// Merge adjacent schedule entries that move the *same site set* in the
+/// same direction through consecutive positions into single multi-step
+/// commands, whenever the merged command is valid against the grid state
+/// at its execution point. `initial` must be the grid the schedule starts
+/// from. The returned schedule replays to exactly the same final grid.
+[[nodiscard]] CoalesceResult coalesce_schedule(const OccupancyGrid& initial,
+                                               const Schedule& schedule,
+                                               const CoalesceOptions& options = {});
+
+/// True when the two schedules, applied to `initial`, produce identical
+/// final occupancies (both must be valid).
+[[nodiscard]] bool schedules_equivalent(const OccupancyGrid& initial, const Schedule& a,
+                                        const Schedule& b, bool check_aod = true);
+
+}  // namespace qrm

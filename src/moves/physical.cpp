@@ -1,0 +1,7 @@
+// physical.hpp is header-only; this translation unit exists so the model is
+// compiled (and its header syntax-checked) even when no test includes it.
+#include "moves/physical.hpp"
+
+namespace qrm {
+// Intentionally empty.
+}  // namespace qrm

@@ -1,0 +1,35 @@
+#pragma once
+/// \file physical.hpp
+/// Physical execution-time model for a schedule.
+///
+/// The paper accelerates *analysis* latency; the atoms still take physical
+/// time to move (AOD frequency ramps plus settle time). This model lets
+/// benches report both numbers and show when analysis stops being the
+/// bottleneck. Constants are synthetic but representative of published
+/// tweezer systems (tens of microseconds per elementary move).
+
+#include <cstdint>
+
+#include "moves/schedule.hpp"
+
+namespace qrm {
+
+struct PhysicalModel {
+  double move_overhead_us = 20.0;  ///< per parallel move: ramp setup + settle
+  double per_step_us = 10.0;       ///< per unit step of lockstep displacement
+
+  /// Duration of one parallel move (independent of how many atoms ride it —
+  /// that is the whole point of multi-tweezer parallelism).
+  [[nodiscard]] double move_duration_us(const ParallelMove& move) const noexcept {
+    return move_overhead_us + per_step_us * static_cast<double>(move.steps);
+  }
+
+  /// Total sequential execution time of a schedule.
+  [[nodiscard]] double schedule_duration_us(const Schedule& schedule) const noexcept {
+    double total = 0.0;
+    for (const auto& m : schedule.moves()) total += move_duration_us(m);
+    return total;
+  }
+};
+
+}  // namespace qrm

@@ -1,0 +1,149 @@
+#include "moves/realizer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "moves/aod.hpp"
+#include "moves/executor.hpp"
+#include "util/assert.hpp"
+
+namespace qrm {
+
+namespace {
+
+/// A moving atom tracked through the rounds.
+struct Mover {
+  std::int32_t line;
+  std::int32_t pos;     // current position along the line
+  std::int32_t target;  // final position
+};
+
+Coord to_coord(Axis axis, std::int32_t line, std::int32_t pos) {
+  return axis == Axis::Rows ? Coord{line, pos} : Coord{pos, line};
+}
+
+void validate_assignment(const OccupancyGrid& grid, Axis axis, const LineAssignment& a) {
+  const std::int32_t line_count = axis == Axis::Rows ? grid.height() : grid.width();
+  const std::int32_t line_length = axis == Axis::Rows ? grid.width() : grid.height();
+  QRM_EXPECTS_MSG(a.line >= 0 && a.line < line_count, "assignment line out of range");
+  QRM_EXPECTS_MSG(a.sources.size() == a.targets.size(),
+                  "assignment sources/targets size mismatch");
+  for (std::size_t i = 0; i < a.sources.size(); ++i) {
+    QRM_EXPECTS_MSG(a.sources[i] >= 0 && a.sources[i] < line_length,
+                    "assignment source out of range");
+    QRM_EXPECTS_MSG(a.targets[i] >= 0 && a.targets[i] < line_length,
+                    "assignment target out of range");
+    QRM_EXPECTS_MSG(grid.occupied(to_coord(axis, a.line, a.sources[i])),
+                    "assignment source holds no atom");
+    if (i > 0) {
+      QRM_EXPECTS_MSG(a.sources[i] > a.sources[i - 1], "assignment sources must ascend");
+      QRM_EXPECTS_MSG(a.targets[i] > a.targets[i - 1], "assignment targets must ascend");
+    }
+  }
+  // Full-line order consistency: merge fixed atoms (unselected) with the
+  // moving atoms' targets in source order; the sequence must stay strictly
+  // increasing and duplicate-free, or motion would require passing an atom.
+  std::set<std::int32_t> selected(a.sources.begin(), a.sources.end());
+  std::vector<std::int32_t> final_positions;
+  std::size_t next_moving = 0;
+  for (std::int32_t pos = 0; pos < line_length; ++pos) {
+    if (!grid.occupied(to_coord(axis, a.line, pos))) continue;
+    if (selected.contains(pos)) {
+      final_positions.push_back(a.targets[next_moving++]);
+    } else {
+      final_positions.push_back(pos);
+    }
+  }
+  for (std::size_t i = 1; i < final_positions.size(); ++i) {
+    QRM_EXPECTS_MSG(final_positions[i] > final_positions[i - 1],
+                    "assignment would require an atom to pass another in line " +
+                        std::to_string(a.line));
+  }
+}
+
+/// Emit one unit-step round (all `sites` move one step in `dir`), splitting
+/// into AOD-legal sub-moves when requested, and advance the grid.
+void emit_round(OccupancyGrid& grid, std::vector<Coord> sites, Direction dir,
+                Schedule& schedule, const RealizeOptions& options) {
+  if (sites.empty()) return;
+  if (options.aod_legalize) {
+    for (auto& sub : legalize(grid, sites, dir, 1)) {
+      apply_move_unchecked(grid, sub);
+      schedule.push_back(std::move(sub));
+    }
+  } else {
+    ParallelMove move{dir, 1, std::move(sites)};
+    apply_move_unchecked(grid, move);
+    schedule.push_back(std::move(move));
+  }
+}
+
+/// Run all rounds of one phase. `toward_origin` selects atoms that must
+/// decrease their position (motion W/N); otherwise increase (E/S).
+///
+/// Movers are sorted by remaining displacement (descending) so that each
+/// round only touches the prefix still in motion; total work is the sum of
+/// displacements, not movers x rounds.
+std::size_t run_phase(OccupancyGrid& grid, Axis axis, std::vector<Mover>& movers,
+                      bool toward_origin, Schedule& schedule, const RealizeOptions& options) {
+  const Direction dir = axis == Axis::Rows
+                            ? (toward_origin ? Direction::West : Direction::East)
+                            : (toward_origin ? Direction::North : Direction::South);
+  const auto remaining = [toward_origin](const Mover& m) {
+    return toward_origin ? m.pos - m.target : m.target - m.pos;
+  };
+  std::vector<Mover*> active;
+  active.reserve(movers.size());
+  for (auto& m : movers) {
+    if (remaining(m) > 0) active.push_back(&m);
+  }
+  std::sort(active.begin(), active.end(),
+            [&remaining](const Mover* a, const Mover* b) { return remaining(*a) > remaining(*b); });
+
+  const std::int32_t delta = toward_origin ? -1 : +1;
+  std::size_t rounds = 0;
+  while (!active.empty()) {
+    std::vector<Coord> stepping;
+    stepping.reserve(active.size());
+    for (Mover* m : active) stepping.push_back(to_coord(axis, m->line, m->pos));
+    emit_round(grid, std::move(stepping), dir, schedule, options);
+    for (Mover* m : active) m->pos += delta;
+    // Arrived movers form a suffix of the displacement-sorted list.
+    while (!active.empty() && remaining(*active.back()) == 0) active.pop_back();
+    ++rounds;
+  }
+  return rounds;
+}
+
+}  // namespace
+
+RealizeResult realize_assignments(OccupancyGrid& grid, Axis axis,
+                                  std::span<const LineAssignment> assignments,
+                                  Schedule& schedule, const RealizeOptions& options) {
+  std::set<std::int32_t> seen_lines;
+  std::vector<Mover> movers;
+  for (const auto& a : assignments) {
+    QRM_EXPECTS_MSG(seen_lines.insert(a.line).second,
+                    "duplicate line in one realize call");
+    validate_assignment(grid, axis, a);
+    for (std::size_t i = 0; i < a.sources.size(); ++i) {
+      if (a.sources[i] != a.targets[i]) movers.push_back({a.line, a.sources[i], a.targets[i]});
+    }
+  }
+
+  RealizeResult result;
+  result.atoms_moved = movers.size();
+  // Toward-origin movers are provably never blocked by fixed atoms, arrived
+  // atoms, or away-movers (order preservation forbids all three), so the
+  // phase completes in max|displacement| rounds; the away phase mirrors it.
+  result.rounds_toward_origin = run_phase(grid, axis, movers, true, schedule, options);
+  result.rounds_away = run_phase(grid, axis, movers, false, schedule, options);
+
+  for (const auto& m : movers) {
+    QRM_ENSURES_MSG(m.pos == m.target, "realizer failed to deliver an atom");
+  }
+  return result;
+}
+
+}  // namespace qrm

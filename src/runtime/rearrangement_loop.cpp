@@ -1,0 +1,110 @@
+#include "runtime/rearrangement_loop.hpp"
+
+#include <algorithm>
+
+#include "core/planner.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace qrm::rt {
+
+namespace {
+
+/// Apply one planned move to a lossy world: sites whose atoms were already
+/// lost simply don't move; each transported atom may be lost on arrival.
+/// Atoms are moved front-first so surviving lockstep chains stay valid.
+std::int64_t apply_lossy_move(OccupancyGrid& state, const ParallelMove& move, Rng& rng,
+                              double per_move_loss) {
+  std::vector<Coord> sites = move.sites;
+  const auto front_key = [&](const Coord& a) {
+    const Coord d = direction_delta(move.dir);
+    return -(a.row * d.row + a.col * d.col);  // most-advanced site first
+  };
+  std::sort(sites.begin(), sites.end(),
+            [&](const Coord& a, const Coord& b) { return front_key(a) < front_key(b); });
+
+  std::int64_t lost = 0;
+  for (const Coord& s : sites) {
+    if (!state.occupied(s)) continue;  // atom vanished before this command
+    const Coord dest = moved(s, move.dir, move.steps);
+    if (!state.in_bounds(dest)) continue;
+    // Path check against the *current* lossy world; a blocked atom stays
+    // put (the next round's plan will handle it).
+    bool clear = true;
+    for (std::int32_t k = 1; k <= move.steps && clear; ++k) {
+      const Coord cell = moved(s, move.dir, k);
+      if (state.occupied(cell)) clear = false;
+    }
+    if (!clear) continue;
+    state.clear(s);
+    if (rng.bernoulli(per_move_loss)) {
+      ++lost;  // atom lost in transport
+    } else {
+      state.set(dest);
+    }
+  }
+  return lost;
+}
+
+std::int64_t apply_background_loss(OccupancyGrid& state, Rng& rng, double p) {
+  if (p <= 0.0) return 0;
+  std::int64_t lost = 0;
+  for (const Coord& site : state.atom_positions()) {
+    if (rng.bernoulli(p)) {
+      state.clear(site);
+      ++lost;
+    }
+  }
+  return lost;
+}
+
+}  // namespace
+
+LoopReport run_rearrangement_loop(const OccupancyGrid& initial, const LoopConfig& config) {
+  QRM_EXPECTS(config.max_rounds > 0);
+  QRM_EXPECTS(config.loss.per_move_loss >= 0.0 && config.loss.per_move_loss <= 1.0);
+  QRM_EXPECTS(config.loss.background_loss >= 0.0 && config.loss.background_loss <= 1.0);
+
+  LoopReport report;
+  report.final_grid = initial;
+  OccupancyGrid& state = report.final_grid;
+  Rng rng(config.loss.seed);
+  const QrmPlanner planner(config.plan);
+
+  for (std::uint32_t round = 0; round < config.max_rounds; ++round) {
+    RoundReport rr;
+    rr.atoms_before = state.atom_count();
+    rr.defects_before =
+        static_cast<std::int64_t>(config.plan.target.area()) - state.atom_count(config.plan.target);
+
+    if (rr.defects_before == 0) {
+      report.success = true;
+      break;
+    }
+
+    // Re-image (perfect detection) and plan against the current world.
+    const PlanResult plan = planner.plan(state);
+    rr.commands = plan.schedule.size();
+
+    for (const ParallelMove& move : plan.schedule.moves()) {
+      rr.atoms_lost += apply_lossy_move(state, move, rng, config.loss.per_move_loss);
+    }
+    rr.atoms_lost += apply_background_loss(state, rng, config.loss.background_loss);
+    rr.filled_after = state.region_full(config.plan.target);
+    report.total_atoms_lost += rr.atoms_lost;
+    report.rounds.push_back(rr);
+
+    if (rr.filled_after) {
+      report.success = true;
+      break;
+    }
+    if (rr.atoms_before - rr.atoms_lost <
+        static_cast<std::int64_t>(config.plan.target.area())) {
+      break;  // not enough atoms left to ever succeed
+    }
+  }
+  report.success = state.region_full(config.plan.target);
+  return report;
+}
+
+}  // namespace qrm::rt

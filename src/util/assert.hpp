@@ -1,0 +1,62 @@
+#pragma once
+/// \file assert.hpp
+/// Precondition / invariant checking used across the library.
+///
+/// Following the C++ Core Guidelines (I.6/I.8, E.12), preconditions on public
+/// interfaces are checked unconditionally and report violations by throwing,
+/// so that misuse is testable and never silently corrupts state.
+
+#include <stdexcept>
+#include <string>
+
+namespace qrm {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (indicates a library bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void precondition_fail(const char* expr, const char* file, int line,
+                                           const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " + file + ":" +
+                          std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+[[noreturn]] inline void invariant_fail(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  throw InvariantError(std::string("invariant failed: ") + expr + " at " + file + ":" +
+                       std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace qrm
+
+/// Check a precondition of a public interface; throws qrm::PreconditionError.
+#define QRM_EXPECTS(cond)                                                       \
+  do {                                                                          \
+    if (!(cond)) ::qrm::detail::precondition_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Check a precondition with an explanatory message.
+#define QRM_EXPECTS_MSG(cond, msg)                                                 \
+  do {                                                                             \
+    if (!(cond)) ::qrm::detail::precondition_fail(#cond, __FILE__, __LINE__, msg); \
+  } while (false)
+
+/// Check an internal invariant; throws qrm::InvariantError.
+#define QRM_ENSURES(cond)                                                      \
+  do {                                                                         \
+    if (!(cond)) ::qrm::detail::invariant_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define QRM_ENSURES_MSG(cond, msg)                                               \
+  do {                                                                           \
+    if (!(cond)) ::qrm::detail::invariant_fail(#cond, __FILE__, __LINE__, msg); \
+  } while (false)

@@ -1,0 +1,237 @@
+#include "util/bitrow.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace qrm {
+
+BitRow::BitRow(std::uint32_t width) : width_(width), words_(word_count(), 0) {}
+
+BitRow BitRow::from_string(std::string_view text) {
+  BitRow row(static_cast<std::uint32_t>(text.size()));
+  for (std::uint32_t i = 0; i < row.width_; ++i) {
+    const char c = text[i];
+    QRM_EXPECTS_MSG(c == '0' || c == '1' || c == '.' || c == '#',
+                    "BitRow::from_string accepts only 0/1/./#");
+    if (c == '1' || c == '#') row.set(i);
+  }
+  return row;
+}
+
+bool BitRow::test(std::uint32_t i) const {
+  QRM_EXPECTS(i < width_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1U;
+}
+
+void BitRow::set(std::uint32_t i, bool value) {
+  QRM_EXPECTS(i < width_);
+  const Word mask = Word{1} << (i % kWordBits);
+  if (value) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitRow::fill() {
+  for (auto& w : words_) w = ~Word{0};
+  mask_tail();
+}
+
+void BitRow::reset() noexcept {
+  for (auto& w : words_) w = 0;
+}
+
+std::uint32_t BitRow::count() const noexcept {
+  std::uint32_t n = 0;
+  for (const Word w : words_) n += static_cast<std::uint32_t>(std::popcount(w));
+  return n;
+}
+
+std::uint32_t BitRow::count_range(std::uint32_t lo, std::uint32_t hi) const {
+  QRM_EXPECTS(lo <= hi && hi <= width_);
+  std::uint32_t n = 0;
+  for (std::uint32_t i = lo; i < hi; ++i) {
+    // Word-at-a-time: skip to aligned fast path when possible.
+    if (i % kWordBits == 0 && i + kWordBits <= hi) {
+      n += static_cast<std::uint32_t>(std::popcount(words_[i / kWordBits]));
+      i += kWordBits - 1;
+    } else if (test(i)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool BitRow::any() const noexcept {
+  for (const Word w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+bool BitRow::all_set_below(std::uint32_t n) const {
+  QRM_EXPECTS(n <= width_);
+  return count_range(0, n) == n;
+}
+
+void BitRow::shift_toward_lsb(std::uint32_t n) {
+  if (n >= width_) {
+    reset();
+    return;
+  }
+  const std::uint32_t word_shift = n / kWordBits;
+  const std::uint32_t bit_shift = n % kWordBits;
+  const std::size_t nw = words_.size();
+  for (std::size_t i = 0; i < nw; ++i) {
+    const std::size_t src = i + word_shift;
+    Word lo = src < nw ? words_[src] : 0;
+    Word hi = (src + 1) < nw ? words_[src + 1] : 0;
+    words_[i] = bit_shift == 0 ? lo : ((lo >> bit_shift) | (hi << (kWordBits - bit_shift)));
+  }
+  mask_tail();
+}
+
+void BitRow::shift_toward_msb(std::uint32_t n) {
+  if (n >= width_) {
+    reset();
+    return;
+  }
+  const std::uint32_t word_shift = n / kWordBits;
+  const std::uint32_t bit_shift = n % kWordBits;
+  const std::size_t nw = words_.size();
+  for (std::size_t i = nw; i-- > 0;) {
+    Word lo = i >= word_shift ? words_[i - word_shift] : 0;
+    Word hi = (i >= word_shift + 1) ? words_[i - word_shift - 1] : 0;
+    words_[i] = bit_shift == 0 ? lo : ((lo << bit_shift) | (hi >> (kWordBits - bit_shift)));
+  }
+  mask_tail();
+}
+
+std::uint32_t BitRow::first_hole() const noexcept {
+  for (std::uint32_t wi = 0; wi < words_.size(); ++wi) {
+    const Word inv = ~words_[wi];
+    if (inv != 0) {
+      const auto pos = static_cast<std::uint32_t>(std::countr_zero(inv)) + wi * kWordBits;
+      return pos < width_ ? pos : width_;
+    }
+  }
+  return width_;
+}
+
+std::uint32_t BitRow::first_atom() const noexcept {
+  for (std::uint32_t wi = 0; wi < words_.size(); ++wi) {
+    if (words_[wi] != 0) {
+      const auto pos = static_cast<std::uint32_t>(std::countr_zero(words_[wi])) + wi * kWordBits;
+      return pos < width_ ? pos : width_;
+    }
+  }
+  return width_;
+}
+
+std::uint32_t BitRow::holes_below(std::uint32_t i) const {
+  QRM_EXPECTS(i <= width_);
+  return i - count_range(0, i);
+}
+
+std::vector<std::uint32_t> BitRow::set_positions() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count());
+  for_each_set([&out](std::uint32_t i) { out.push_back(i); });
+  return out;
+}
+
+std::vector<std::uint32_t> BitRow::hole_positions() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(width_ - count());
+  for (std::uint32_t i = 0; i < width_; ++i)
+    if (!test(i)) out.push_back(i);
+  return out;
+}
+
+void BitRow::for_each_set(const std::function<void(std::uint32_t)>& fn) const {
+  for (std::uint32_t wi = 0; wi < words_.size(); ++wi) {
+    Word w = words_[wi];
+    while (w != 0) {
+      const auto bit = static_cast<std::uint32_t>(std::countr_zero(w));
+      fn(wi * kWordBits + bit);
+      w &= w - 1;
+    }
+  }
+}
+
+BitRow BitRow::compacted() const {
+  BitRow out(width_);
+  const std::uint32_t n = count();
+  for (std::uint32_t i = 0; i < n; ++i) out.set(i);
+  return out;
+}
+
+std::vector<std::uint32_t> BitRow::compaction_displacements() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count());
+  std::uint32_t holes = 0;
+  for (std::uint32_t i = 0; i < width_; ++i) {
+    if (test(i)) {
+      out.push_back(holes);
+    } else {
+      ++holes;
+    }
+  }
+  return out;
+}
+
+BitRow BitRow::reversed() const {
+  BitRow out(width_);
+  for (std::uint32_t i = 0; i < width_; ++i)
+    if (test(i)) out.set(width_ - 1 - i);
+  return out;
+}
+
+void BitRow::assign_words(const std::vector<Word>& words) {
+  QRM_EXPECTS(words.size() == words_.size());
+  words_ = words;
+  mask_tail();
+}
+
+BitRow& BitRow::operator&=(const BitRow& rhs) {
+  QRM_EXPECTS(rhs.width_ == width_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= rhs.words_[i];
+  return *this;
+}
+
+BitRow& BitRow::operator|=(const BitRow& rhs) {
+  QRM_EXPECTS(rhs.width_ == width_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= rhs.words_[i];
+  return *this;
+}
+
+BitRow& BitRow::operator^=(const BitRow& rhs) {
+  QRM_EXPECTS(rhs.width_ == width_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= rhs.words_[i];
+  return *this;
+}
+
+std::string BitRow::to_string() const {
+  std::string s;
+  s.reserve(width_);
+  for (std::uint32_t i = 0; i < width_; ++i) s.push_back(test(i) ? '1' : '0');
+  return s;
+}
+
+std::string BitRow::to_art() const {
+  std::string s;
+  s.reserve(width_);
+  for (std::uint32_t i = 0; i < width_; ++i) s.push_back(test(i) ? '#' : '.');
+  return s;
+}
+
+void BitRow::mask_tail() noexcept {
+  if (words_.empty()) return;
+  const std::uint32_t used = width_ % kWordBits;
+  if (used != 0) {
+    words_.back() &= (Word{1} << used) - 1;
+  }
+}
+
+}  // namespace qrm

@@ -1,0 +1,35 @@
+#include "util/csv.hpp"
+
+#include "util/assert.hpp"
+
+namespace qrm {
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  QRM_EXPECTS_MSG(!header_written_ && rows_ == 0, "CSV header must precede all rows");
+  write_cells(names);
+  header_written_ = true;
+  rows_ = 0;  // header does not count as a data row
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << escape(cells[i]);
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace qrm

@@ -1,0 +1,60 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV emission for experiment outputs (scaling studies, sweeps).
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace qrm {
+
+/// Streams rows of comma-separated values. Values containing commas or
+/// quotes are quoted per RFC 4180. The writer does not own `out`.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Write the header row. Call at most once, before any data row.
+  void header(const std::vector<std::string>& names);
+
+  /// Write one data row from heterogeneous printable values.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(to_cell(values)), ...);
+    write_cells(cells);
+  }
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+  static std::string escape(const std::string& cell);
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+/// Convenience owner of an output file + CsvWriter.
+class CsvFile {
+ public:
+  explicit CsvFile(const std::string& path) : stream_(path), writer_(stream_) {}
+  [[nodiscard]] bool is_open() const { return stream_.is_open(); }
+  CsvWriter& writer() { return writer_; }
+
+ private:
+  std::ofstream stream_;
+  CsvWriter writer_;
+};
+
+}  // namespace qrm

@@ -1,0 +1,42 @@
+#pragma once
+/// \file log.hpp
+/// Leveled diagnostic logging. Off (Warn) by default so library code is quiet
+/// in benches; examples raise the level to narrate the workflow.
+
+#include <sstream>
+#include <string>
+
+namespace qrm {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one line to stderr with a level tag if `level` >= the global level.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Ts>
+std::string concat(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  if (log_level() <= LogLevel::Info) log_line(LogLevel::Info, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  if (log_level() <= LogLevel::Debug) log_line(LogLevel::Debug, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_warn(const Ts&... parts) {
+  if (log_level() <= LogLevel::Warn) log_line(LogLevel::Warn, detail::concat(parts...));
+}
+
+}  // namespace qrm

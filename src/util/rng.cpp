@@ -1,0 +1,38 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace qrm {
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box-Muller transform; draw until u1 is nonzero to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  return mean + stddev * radius * std::cos(theta);
+}
+
+std::uint32_t Rng::poisson(double lambda) noexcept {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth: multiply uniforms until the product drops below exp(-lambda).
+    const double limit = std::exp(-lambda);
+    std::uint32_t k = 0;
+    double product = uniform01();
+    while (product > limit) {
+      ++k;
+      product *= uniform01();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for photon
+  // counts where lambda is O(100) and exactness of tails is irrelevant.
+  const double x = normal(lambda, std::sqrt(lambda));
+  return x < 0.5 ? 0U : static_cast<std::uint32_t>(x + 0.5);
+}
+
+}  // namespace qrm

@@ -1,0 +1,95 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, seedable random number generation.
+///
+/// All stochastic parts of the library (atom loading, photon noise, workload
+/// generators) draw from this generator so that every experiment is exactly
+/// reproducible from a 64-bit seed. The implementation is xoshiro256**
+/// seeded through SplitMix64, which is fast, high quality, and has no global
+/// state (Core Guidelines: avoid non-const global variables).
+
+#include <array>
+#include <cstdint>
+
+namespace qrm {
+
+/// SplitMix64 step; used to expand a user seed into xoshiro state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** pseudo-random generator (Blackman & Vigna).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed deterministically; distinct seeds give independent-looking streams.
+  explicit Rng(std::uint64_t seed = 0x5EEDULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  /// UniformRandomBitGenerator interface.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+  result_type operator()() noexcept { return next_u64(); }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Precondition handled gracefully: n==0 -> 0.
+  std::uint32_t uniform_below(std::uint32_t n) noexcept {
+    if (n == 0) return 0;
+    // Lemire's unbiased multiply-shift rejection method.
+    std::uint64_t x = next_u64() & 0xFFFFFFFFULL;
+    std::uint64_t m = x * n;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < n) {
+      const std::uint32_t threshold = (0U - n) % n;
+      while (lo < threshold) {
+        x = next_u64() & 0xFFFFFFFFULL;
+        m = x * n;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Standard normal via Box-Muller (one value per call; simple and exact).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Poisson-distributed count. Uses Knuth's method for small lambda and a
+  /// normal approximation for large lambda (adequate for photon statistics).
+  std::uint32_t poisson(double lambda) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace qrm

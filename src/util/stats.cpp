@@ -1,0 +1,83 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace qrm::stats {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double p) {
+  QRM_EXPECTS(!xs.empty());
+  QRM_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double min(std::span<const double> xs) noexcept {
+  double best = std::numeric_limits<double>::infinity();
+  for (const double x : xs) best = std::min(best, x);
+  return best;
+}
+
+double max(std::span<const double> xs) noexcept {
+  double best = -std::numeric_limits<double>::infinity();
+  for (const double x : xs) best = std::max(best, x);
+  return best;
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  QRM_EXPECTS(xs.size() == ys.size());
+  QRM_EXPECTS(xs.size() >= 2);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  fit.slope = sxx > 0.0 ? sxy / sxx : 0.0;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (sxx > 0.0 && syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+std::string summarize(std::span<const double> xs) {
+  std::ostringstream os;
+  os << "mean=" << mean(xs) << " sd=" << stddev(xs) << " min=" << min(xs) << " max=" << max(xs)
+     << " n=" << xs.size();
+  return os.str();
+}
+
+}  // namespace qrm::stats

@@ -1,0 +1,38 @@
+#pragma once
+/// \file stats.hpp
+/// Small descriptive-statistics helpers used by benches and tests
+/// (seed-averaged latencies, resource-trend fits, detection error rates).
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace qrm::stats {
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0,100]. Copies and sorts internally.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+[[nodiscard]] double min(std::span<const double> xs) noexcept;
+[[nodiscard]] double max(std::span<const double> xs) noexcept;
+
+/// Least-squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// One-line human-readable summary "mean=.. sd=.. min=.. max=.. n=..".
+[[nodiscard]] std::string summarize(std::span<const double> xs);
+
+}  // namespace qrm::stats

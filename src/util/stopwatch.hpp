@@ -1,0 +1,42 @@
+#pragma once
+/// \file stopwatch.hpp
+/// Wall-clock timing helpers for CPU-side latency measurements.
+
+#include <chrono>
+#include <cstddef>
+
+namespace qrm {
+
+/// Monotonic stopwatch, running from construction or the last reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_microseconds() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Run `fn` `repeats` times and return the *best* (minimum) duration in
+/// microseconds. Best-of-N is the standard low-noise latency estimator for
+/// short deterministic kernels like rearrangement analysis.
+template <typename Fn>
+[[nodiscard]] double best_of_microseconds(std::size_t repeats, Fn&& fn) {
+  double best = 1e300;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    Stopwatch sw;
+    fn();
+    const double t = sw.elapsed_microseconds();
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+}  // namespace qrm

@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace qrm {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  QRM_EXPECTS(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  QRM_EXPECTS_MSG(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << "  ";
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  os << std::string(total >= 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt_time_us(double microseconds) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (microseconds < 1.0) {
+    os << std::setprecision(0) << microseconds * 1000.0 << " ns";
+  } else if (microseconds < 1000.0) {
+    os << std::setprecision(2) << microseconds << " us";
+  } else {
+    os << std::setprecision(2) << microseconds / 1000.0 << " ms";
+  }
+  return os.str();
+}
+
+std::string fmt_speedup(double factor) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(factor >= 100.0 ? 0 : 1) << factor << "x";
+  return os.str();
+}
+
+std::string fmt_percent(double fraction_0_to_1, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction_0_to_1 * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace qrm

@@ -1,0 +1,39 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table rendering for bench binaries: every figure/table reproduction
+/// prints a paper-style table through this helper so outputs are uniform.
+
+#include <string>
+#include <vector>
+
+namespace qrm {
+
+/// Column-aligned text table. Cells are strings; numeric formatting is the
+/// caller's responsibility (see format helpers below).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a rule under the header, columns padded to content width.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.34").
+[[nodiscard]] std::string fmt_double(double value, int precision = 2);
+/// Engineering-style microseconds ("1.04 us" / "543 ns" / "2.1 ms").
+[[nodiscard]] std::string fmt_time_us(double microseconds);
+/// Multiplicative factor ("54.2x").
+[[nodiscard]] std::string fmt_speedup(double factor);
+/// Percentage ("6.31%").
+[[nodiscard]] std::string fmt_percent(double fraction_0_to_1, int precision = 2);
+
+}  // namespace qrm

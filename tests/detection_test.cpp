@@ -1,0 +1,160 @@
+// Tests for the synthetic imaging + detection substrate.
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "detection/detector.hpp"
+#include "detection/image.hpp"
+#include "loading/loader.hpp"
+
+namespace qrm {
+namespace {
+
+TEST(Image, GeometryAndAccumulation) {
+  FluorescenceImage img(10, 12);
+  EXPECT_EQ(img.height(), 10);
+  EXPECT_EQ(img.width(), 12);
+  EXPECT_DOUBLE_EQ(img.total_photons(), 0.0);
+  img.add(3, 4, 7.5);
+  img.add(3, 4, 2.5);
+  EXPECT_DOUBLE_EQ(img.at(3, 4), 10.0);
+  EXPECT_DOUBLE_EQ(img.total_photons(), 10.0);
+  EXPECT_DOUBLE_EQ(img.max_pixel(), 10.0);
+  EXPECT_THROW((void)img.at(10, 0), PreconditionError);
+}
+
+TEST(Image, IntegrateClipsToBounds) {
+  FluorescenceImage img(4, 4);
+  img.add(0, 0, 1.0);
+  img.add(3, 3, 2.0);
+  EXPECT_DOUBLE_EQ(img.integrate(0, 0, 4, 4), 3.0);
+  EXPECT_DOUBLE_EQ(img.integrate(2, 2, 10, 10), 2.0);
+  EXPECT_DOUBLE_EQ(img.integrate(-2, -2, 3, 3), 1.0);
+}
+
+TEST(Image, RenderDepositsSignalOnAtoms) {
+  OccupancyGrid atoms(6, 6);
+  atoms.set({2, 3});
+  ImagingConfig config;
+  config.background_photons = 0.0;
+  config.seed = 1;
+  const FluorescenceImage img = render_image(atoms, config);
+  EXPECT_EQ(img.height(), 30);
+  EXPECT_EQ(img.width(), 30);
+  // Expected total signal ~ photons_per_atom (PSF mostly inside the image).
+  EXPECT_NEAR(img.total_photons(), config.photons_per_atom, 60.0);
+  // The brightest site block must be the atom's.
+  const std::int32_t pps = config.pixels_per_site;
+  double best = -1;
+  Coord best_site{-1, -1};
+  for (std::int32_t r = 0; r < 6; ++r) {
+    for (std::int32_t c = 0; c < 6; ++c) {
+      const double v = img.integrate(r * pps, c * pps, pps, pps);
+      if (v > best) {
+        best = v;
+        best_site = {r, c};
+      }
+    }
+  }
+  EXPECT_EQ(best_site, (Coord{2, 3}));
+}
+
+TEST(Image, RenderIsDeterministicPerSeed) {
+  const OccupancyGrid atoms = load_random(8, 8, {0.5, 3});
+  ImagingConfig config;
+  config.seed = 99;
+  const FluorescenceImage a = render_image(atoms, config);
+  const FluorescenceImage b = render_image(atoms, config);
+  EXPECT_DOUBLE_EQ(a.total_photons(), b.total_photons());
+  EXPECT_DOUBLE_EQ(a.at(10, 10), b.at(10, 10));
+}
+
+TEST(Detector, PerfectAtHighSnr) {
+  const OccupancyGrid truth = load_random(16, 16, {0.5, 11});
+  ImagingConfig imaging;
+  imaging.photons_per_atom = 500.0;
+  imaging.background_photons = 1.0;
+  imaging.seed = 5;
+  const FluorescenceImage img = render_image(truth, imaging);
+  DetectionConfig det;
+  det.pixels_per_site = imaging.pixels_per_site;
+  const OccupancyGrid detected = detect_atoms(img, 16, 16, det);
+  const DetectionErrors errors = compare_detection(truth, detected);
+  EXPECT_EQ(errors.total(), 0) << "fp=" << errors.false_positives
+                               << " fn=" << errors.false_negatives;
+}
+
+TEST(Detector, DegradesAtLowSnr) {
+  const OccupancyGrid truth = load_random(16, 16, {0.5, 11});
+  ImagingConfig imaging;
+  imaging.photons_per_atom = 8.0;  // barely above background
+  imaging.background_photons = 6.0;
+  imaging.seed = 5;
+  const FluorescenceImage img = render_image(truth, imaging);
+  DetectionConfig det;
+  det.pixels_per_site = imaging.pixels_per_site;
+  const OccupancyGrid detected = detect_atoms(img, 16, 16, det);
+  EXPECT_GT(compare_detection(truth, detected).total(), 0)
+      << "at this SNR some sites must misclassify";
+}
+
+TEST(Detector, AutoThresholdSeparatesClasses) {
+  const OccupancyGrid truth = load_random(12, 12, {0.5, 21});
+  ImagingConfig imaging;
+  imaging.photons_per_atom = 300.0;
+  imaging.background_photons = 2.0;
+  const FluorescenceImage img = render_image(truth, imaging);
+  const double threshold = auto_threshold(img, 12, 12, imaging.pixels_per_site);
+  // Bright sites integrate most of 300 photons; dark ones ~ bg*pps^2 = 50.
+  EXPECT_GT(threshold, 60.0);
+  EXPECT_LT(threshold, 280.0);
+}
+
+TEST(Detector, ManualThresholdRespected) {
+  OccupancyGrid truth(4, 4);
+  truth.set({1, 1});
+  ImagingConfig imaging;
+  imaging.background_photons = 0.0;
+  const FluorescenceImage img = render_image(truth, imaging);
+  DetectionConfig det;
+  det.pixels_per_site = imaging.pixels_per_site;
+  det.threshold_photons = 1e9;  // nothing passes
+  EXPECT_EQ(detect_atoms(img, 4, 4, det).atom_count(), 0);
+  det.threshold_photons = 0.0;  // everything passes
+  EXPECT_EQ(detect_atoms(img, 4, 4, det).atom_count(), 16);
+}
+
+TEST(Detector, RejectsGeometryMismatch) {
+  const FluorescenceImage img(10, 10);
+  DetectionConfig det;
+  det.pixels_per_site = 5;
+  EXPECT_THROW((void)detect_atoms(img, 4, 4, det), PreconditionError);
+}
+
+TEST(Detector, CompareDetectionCountsBothKinds) {
+  OccupancyGrid truth(2, 2);
+  truth.set({0, 0});
+  truth.set({0, 1});
+  OccupancyGrid detected(2, 2);
+  detected.set({0, 0});
+  detected.set({1, 1});
+  const DetectionErrors errors = compare_detection(truth, detected);
+  EXPECT_EQ(errors.false_negatives, 1);
+  EXPECT_EQ(errors.false_positives, 1);
+  EXPECT_EQ(errors.total(), 2);
+}
+
+TEST(Detector, ErrorInjectionRates) {
+  const OccupancyGrid truth = load_random(60, 60, {0.5, 31});
+  const OccupancyGrid noisy = inject_detection_errors(truth, 0.1, 0.05, 7);
+  const DetectionErrors errors = compare_detection(truth, noisy);
+  const double atoms = static_cast<double>(truth.atom_count());
+  const double empties = 3600.0 - atoms;
+  EXPECT_NEAR(static_cast<double>(errors.false_negatives) / atoms, 0.1, 0.04);
+  EXPECT_NEAR(static_cast<double>(errors.false_positives) / empties, 0.05, 0.03);
+  // Zero rates are exact.
+  EXPECT_EQ(compare_detection(truth, inject_detection_errors(truth, 0, 0, 9)).total(), 0);
+}
+
+}  // namespace
+}  // namespace qrm

@@ -1,0 +1,76 @@
+// Tests for the stochastic loading substrate.
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "loading/loader.hpp"
+
+namespace qrm {
+namespace {
+
+TEST(Loader, DeterministicPerSeed) {
+  const OccupancyGrid a = load_random(20, 20, {0.5, 42});
+  const OccupancyGrid b = load_random(20, 20, {0.5, 42});
+  EXPECT_EQ(a, b);
+  const OccupancyGrid c = load_random(20, 20, {0.5, 43});
+  EXPECT_NE(a, c);
+}
+
+TEST(Loader, FillFractionConcentrates) {
+  const OccupancyGrid g = load_random(100, 100, {0.5, 1});
+  const double fill = static_cast<double>(g.atom_count()) / (100.0 * 100.0);
+  EXPECT_NEAR(fill, 0.5, 0.03);
+  const OccupancyGrid h = load_random(100, 100, {0.9, 2});
+  EXPECT_NEAR(static_cast<double>(h.atom_count()) / 1e4, 0.9, 0.02);
+}
+
+TEST(Loader, ExtremesAreExact) {
+  EXPECT_EQ(load_random(10, 10, {0.0, 3}).atom_count(), 0);
+  EXPECT_EQ(load_random(10, 10, {1.0, 3}).atom_count(), 100);
+  EXPECT_THROW((void)load_random(10, 10, {1.5, 3}), PreconditionError);
+}
+
+TEST(Loader, AtLeastRetriesUntilEnough) {
+  // Demand slightly above the mean so the first draw sometimes misses.
+  const OccupancyGrid g = load_random_at_least(20, 20, {0.5, 9}, 205);
+  EXPECT_GE(g.atom_count(), 205);
+}
+
+TEST(Loader, AtLeastReturnsBestEffortWhenImpossible) {
+  const OccupancyGrid g = load_random_at_least(4, 4, {0.5, 9}, 1000, 4);
+  EXPECT_LT(g.atom_count(), 1000);
+  EXPECT_GT(g.atom_count(), 0);
+}
+
+TEST(Loader, ClusteredRemovesAtoms) {
+  ClusteredLoaderConfig config;
+  config.base = {0.9, 5};
+  config.clusters = 4;
+  config.cluster_radius = 3;
+  const OccupancyGrid g = load_clustered(30, 30, config);
+  const OccupancyGrid base = load_random(30, 30, config.base);
+  EXPECT_LT(g.atom_count(), base.atom_count());
+}
+
+TEST(Loader, Patterns) {
+  EXPECT_EQ(load_pattern(4, 4, Pattern::Full).atom_count(), 16);
+  EXPECT_EQ(load_pattern(4, 4, Pattern::Empty).atom_count(), 0);
+  EXPECT_EQ(load_pattern(4, 4, Pattern::Checkerboard).atom_count(), 8);
+  EXPECT_EQ(load_pattern(4, 4, Pattern::RowStripes).atom_count(), 8);
+  EXPECT_EQ(load_pattern(4, 4, Pattern::ColStripes).atom_count(), 8);
+  EXPECT_EQ(load_pattern(4, 4, Pattern::Border).atom_count(), 12);
+  const OccupancyGrid cb = load_pattern(3, 3, Pattern::Checkerboard);
+  EXPECT_TRUE(cb.occupied({0, 0}));
+  EXPECT_FALSE(cb.occupied({0, 1}));
+  EXPECT_TRUE(cb.occupied({1, 1}));
+}
+
+TEST(Loader, FeasibilityEstimate) {
+  // 20x20 at 50% practically always yields >= 100 atoms and practically
+  // never >= 300.
+  EXPECT_GT(estimate_feasibility(20, 20, 0.5, 100, 200, 1), 0.99);
+  EXPECT_LT(estimate_feasibility(20, 20, 0.5, 300, 200, 1), 0.01);
+}
+
+}  // namespace
+}  // namespace qrm

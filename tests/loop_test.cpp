@@ -1,0 +1,138 @@
+// Tests for the multi-round rearrangement-under-loss loop and detection
+// calibration tools.
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "detection/calibration.hpp"
+#include "loading/loader.hpp"
+#include "runtime/rearrangement_loop.hpp"
+
+namespace qrm {
+namespace {
+
+rt::LoopConfig loop_config(std::int32_t size, std::int32_t target) {
+  rt::LoopConfig config;
+  config.plan.target = centered_square(size, target);
+  return config;
+}
+
+TEST(RearrangementLoop, LosslessSucceedsInOneRound) {
+  const OccupancyGrid initial = load_random(24, 24, {0.6, 3});
+  rt::LoopConfig config = loop_config(24, 14);
+  config.loss.per_move_loss = 0.0;
+  config.loss.background_loss = 0.0;
+  const rt::LoopReport report = rt::run_rearrangement_loop(initial, config);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.rounds_used(), 1u);
+  EXPECT_EQ(report.total_atoms_lost, 0);
+  EXPECT_EQ(report.final_grid.atom_count(), initial.atom_count());
+  EXPECT_TRUE(report.final_grid.region_full(config.plan.target));
+}
+
+TEST(RearrangementLoop, ModerateLossRecoversWithinAFewRounds) {
+  const OccupancyGrid initial = load_random(24, 24, {0.65, 5});
+  rt::LoopConfig config = loop_config(24, 14);
+  config.loss.per_move_loss = 0.02;
+  const rt::LoopReport report = rt::run_rearrangement_loop(initial, config);
+  EXPECT_TRUE(report.success) << "rounds used: " << report.rounds_used();
+  EXPECT_GT(report.total_atoms_lost, 0);
+  EXPECT_LE(report.rounds_used(), 6u);
+  // Defects must shrink monotonically round over round.
+  for (std::size_t i = 1; i < report.rounds.size(); ++i) {
+    EXPECT_LE(report.rounds[i].defects_before, report.rounds[i - 1].defects_before);
+  }
+}
+
+TEST(RearrangementLoop, CatastrophicLossFailsGracefully) {
+  const OccupancyGrid initial = load_random(20, 20, {0.55, 7});
+  rt::LoopConfig config = loop_config(20, 14);
+  config.loss.per_move_loss = 0.5;       // half of every transport dies
+  config.loss.background_loss = 0.05;
+  config.max_rounds = 8;
+  const rt::LoopReport report = rt::run_rearrangement_loop(initial, config);
+  EXPECT_FALSE(report.success);
+  EXPECT_GT(report.total_atoms_lost, 0);
+  // Atom accounting: initial = final + lost.
+  EXPECT_EQ(report.final_grid.atom_count() + report.total_atoms_lost, initial.atom_count());
+}
+
+TEST(RearrangementLoop, AtomAccountingExact) {
+  const OccupancyGrid initial = load_random(20, 20, {0.6, 9});
+  rt::LoopConfig config = loop_config(20, 12);
+  config.loss.per_move_loss = 0.05;
+  config.loss.background_loss = 0.01;
+  const rt::LoopReport report = rt::run_rearrangement_loop(initial, config);
+  EXPECT_EQ(report.final_grid.atom_count() + report.total_atoms_lost, initial.atom_count());
+}
+
+TEST(RearrangementLoop, DeterministicPerSeed) {
+  const OccupancyGrid initial = load_random(20, 20, {0.6, 13});
+  rt::LoopConfig config = loop_config(20, 12);
+  config.loss.per_move_loss = 0.03;
+  const rt::LoopReport a = rt::run_rearrangement_loop(initial, config);
+  const rt::LoopReport b = rt::run_rearrangement_loop(initial, config);
+  EXPECT_EQ(a.rounds_used(), b.rounds_used());
+  EXPECT_EQ(a.total_atoms_lost, b.total_atoms_lost);
+  EXPECT_EQ(a.final_grid, b.final_grid);
+}
+
+TEST(RearrangementLoop, RejectsBadConfig) {
+  const OccupancyGrid initial(20, 20);
+  rt::LoopConfig config = loop_config(20, 12);
+  config.max_rounds = 0;
+  EXPECT_THROW((void)rt::run_rearrangement_loop(initial, config), PreconditionError);
+  config.max_rounds = 1;
+  config.loss.per_move_loss = 1.5;
+  EXPECT_THROW((void)rt::run_rearrangement_loop(initial, config), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Detection calibration
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, SweepFindsZeroErrorWindowAtHighSnr) {
+  const OccupancyGrid truth = load_random(14, 14, {0.5, 21});
+  ImagingConfig imaging;
+  imaging.photons_per_atom = 400.0;
+  imaging.background_photons = 1.0;
+  const FluorescenceImage image = render_image(truth, imaging);
+  const auto sweep = threshold_sweep(image, truth, imaging.pixels_per_site, 128);
+  const ThresholdPoint best = best_threshold(sweep);
+  EXPECT_EQ(best.false_positives + best.false_negatives, 0);
+  EXPECT_DOUBLE_EQ(best.error_rate, 0.0);
+}
+
+TEST(Calibration, SweepEndpointsMisclassifyOneClass) {
+  const OccupancyGrid truth = load_random(14, 14, {0.5, 22});
+  ImagingConfig imaging;
+  const FluorescenceImage image = render_image(truth, imaging);
+  const auto sweep = threshold_sweep(image, truth, imaging.pixels_per_site, 32);
+  // Lowest threshold: everything detected -> only false positives.
+  EXPECT_EQ(sweep.front().false_negatives, 0);
+  EXPECT_EQ(sweep.front().false_positives, 196 - truth.atom_count());
+  // Highest threshold: at most one site (the max) detected.
+  EXPECT_GE(sweep.back().false_negatives, truth.atom_count() - 1);
+}
+
+TEST(Calibration, SnrGrowsWithSignal) {
+  const OccupancyGrid truth = load_random(14, 14, {0.5, 23});
+  ImagingConfig dim;
+  dim.photons_per_atom = 20.0;
+  dim.background_photons = 6.0;
+  ImagingConfig bright = dim;
+  bright.photons_per_atom = 400.0;
+  const double snr_dim = site_separation_snr(render_image(truth, dim), truth, 5);
+  const double snr_bright = site_separation_snr(render_image(truth, bright), truth, 5);
+  EXPECT_GT(snr_bright, snr_dim);
+  EXPECT_GT(snr_bright, 5.0) << "bright sites must separate cleanly";
+}
+
+TEST(Calibration, SnrZeroWhenOneClassEmpty) {
+  const OccupancyGrid truth(6, 6);  // no atoms
+  const FluorescenceImage image = render_image(truth, {});
+  EXPECT_DOUBLE_EQ(site_separation_snr(image, truth, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace qrm

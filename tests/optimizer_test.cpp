@@ -1,0 +1,113 @@
+// Tests for schedule coalescing and equivalence checking.
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "core/planner.hpp"
+#include "loading/loader.hpp"
+#include "moves/executor.hpp"
+#include "moves/optimizer.hpp"
+
+namespace qrm {
+namespace {
+
+TEST(Coalesce, MergesAConsecutiveGroupRide) {
+  // One atom pushed west three times in three unit commands.
+  OccupancyGrid g(1, 5);
+  g.set({0, 4});
+  Schedule s;
+  s.push_back({Direction::West, 1, {{0, 4}}});
+  s.push_back({Direction::West, 1, {{0, 3}}});
+  s.push_back({Direction::West, 1, {{0, 2}}});
+  const CoalesceResult result = coalesce_schedule(g, s);
+  ASSERT_EQ(result.moves_after, 1u);
+  EXPECT_EQ(result.schedule[0].steps, 3);
+  EXPECT_EQ(result.commands_saved(), 2u);
+  EXPECT_TRUE(schedules_equivalent(g, s, result.schedule));
+}
+
+TEST(Coalesce, MergesLockstepPairs) {
+  OccupancyGrid g(2, 6);
+  g.set({0, 4});
+  g.set({1, 4});
+  Schedule s;
+  s.push_back({Direction::West, 1, {{0, 4}, {1, 4}}});
+  s.push_back({Direction::West, 1, {{0, 3}, {1, 3}}});
+  const CoalesceResult result = coalesce_schedule(g, s);
+  ASSERT_EQ(result.moves_after, 1u);
+  EXPECT_EQ(result.schedule[0].steps, 2);
+  EXPECT_EQ(result.schedule[0].sites.size(), 2u);
+}
+
+TEST(Coalesce, DoesNotMergeDifferentGroups) {
+  OccupancyGrid g(2, 6);
+  g.set({0, 4});
+  g.set({1, 2});
+  Schedule s;
+  s.push_back({Direction::West, 1, {{0, 4}}});
+  s.push_back({Direction::West, 1, {{1, 2}}});
+  const CoalesceResult result = coalesce_schedule(g, s);
+  EXPECT_EQ(result.moves_after, 2u);
+}
+
+TEST(Coalesce, DoesNotMergeAcrossDirectionChange) {
+  OccupancyGrid g(3, 3);
+  g.set({1, 2});
+  Schedule s;
+  s.push_back({Direction::West, 1, {{1, 2}}});
+  s.push_back({Direction::North, 1, {{1, 1}}});
+  const CoalesceResult result = coalesce_schedule(g, s);
+  EXPECT_EQ(result.moves_after, 2u);
+}
+
+TEST(Coalesce, RespectsMaxSteps) {
+  OccupancyGrid g(1, 8);
+  g.set({0, 7});
+  Schedule s;
+  for (std::int32_t c = 7; c >= 4; --c) s.push_back({Direction::West, 1, {{0, c}}});
+  CoalesceOptions options;
+  options.max_steps = 2;
+  const CoalesceResult result = coalesce_schedule(g, s, options);
+  EXPECT_EQ(result.moves_after, 2u);
+  for (const auto& m : result.schedule.moves()) EXPECT_LE(m.steps, 2);
+  EXPECT_TRUE(schedules_equivalent(g, s, result.schedule));
+}
+
+TEST(Coalesce, ThrowsOnInvalidInputSchedule) {
+  OccupancyGrid g(1, 4);  // no atoms at all
+  Schedule s;
+  s.push_back({Direction::West, 1, {{0, 2}}});
+  EXPECT_THROW((void)coalesce_schedule(g, s), PreconditionError);
+}
+
+TEST(Coalesce, PlannerSchedulesStayEquivalentAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const OccupancyGrid initial = load_random(20, 20, {0.55, seed});
+    const PlanResult plan = plan_qrm(initial, 12);
+    const CoalesceResult result = coalesce_schedule(initial, plan.schedule);
+    EXPECT_LE(result.moves_after, result.moves_before);
+    EXPECT_TRUE(schedules_equivalent(initial, plan.schedule, result.schedule)) << seed;
+    // The coalesced schedule must also replay cleanly under full checks.
+    OccupancyGrid replay = initial;
+    EXPECT_TRUE(run_schedule(replay, result.schedule, {.check_aod = true}).ok);
+    EXPECT_EQ(replay, plan.final_grid);
+  }
+}
+
+TEST(SchedulesEquivalent, DetectsDivergence) {
+  OccupancyGrid g(1, 4);
+  g.set({0, 2});
+  Schedule a;
+  a.push_back({Direction::West, 1, {{0, 2}}});
+  Schedule b;
+  b.push_back({Direction::West, 2, {{0, 2}}});
+  EXPECT_FALSE(schedules_equivalent(g, a, b));
+  EXPECT_TRUE(schedules_equivalent(g, a, a));
+  // Invalid schedule -> not equivalent to anything.
+  Schedule bad;
+  bad.push_back({Direction::East, 5, {{0, 2}}});
+  EXPECT_FALSE(schedules_equivalent(g, a, bad));
+}
+
+}  // namespace
+}  // namespace qrm

@@ -1,0 +1,219 @@
+// Randomised property suites cutting across the low-level substrate:
+// BitRow identities against a naive boolean-vector model, grid flip
+// algebra, quadrant-frame invariants, and realizer/AOD round-trips on the
+// column axis. These complement the per-module unit tests with
+// model-checking style coverage at awkward widths (word boundaries).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "lattice/grid.hpp"
+#include "lattice/quadrant.hpp"
+#include "loading/loader.hpp"
+#include "moves/executor.hpp"
+#include "moves/realizer.hpp"
+#include "util/bitrow.hpp"
+#include "util/rng.hpp"
+
+namespace qrm {
+namespace {
+
+/// Naive reference model of BitRow: vector<bool> with the same interface.
+struct NaiveRow {
+  std::vector<bool> bits;
+
+  static NaiveRow random(std::uint32_t width, Rng& rng, double p) {
+    NaiveRow row;
+    row.bits.resize(width);
+    for (std::uint32_t i = 0; i < width; ++i) row.bits[i] = rng.bernoulli(p);
+    return row;
+  }
+  [[nodiscard]] BitRow to_bitrow() const {
+    BitRow out(static_cast<std::uint32_t>(bits.size()));
+    for (std::uint32_t i = 0; i < bits.size(); ++i)
+      if (bits[i]) out.set(i);
+    return out;
+  }
+  void shift_toward_lsb(std::uint32_t n) {
+    for (std::size_t i = 0; i < bits.size(); ++i)
+      bits[i] = (i + n < bits.size()) && bits[i + n];
+  }
+  void shift_toward_msb(std::uint32_t n) {
+    for (std::size_t i = bits.size(); i-- > 0;) bits[i] = (i >= n) && bits[i - n];
+  }
+  [[nodiscard]] std::uint32_t count() const {
+    std::uint32_t n = 0;
+    for (const bool b : bits) n += b ? 1 : 0;
+    return n;
+  }
+};
+
+class BitRowWidths : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BitRowWidths, ShiftsMatchNaiveModel) {
+  const std::uint32_t width = GetParam();
+  Rng rng(width * 31 + 7);
+  for (int trial = 0; trial < 20; ++trial) {
+    NaiveRow naive = NaiveRow::random(width, rng, 0.5);
+    BitRow row = naive.to_bitrow();
+    const std::uint32_t shift = rng.uniform_below(width + 2);
+    if (trial % 2 == 0) {
+      naive.shift_toward_lsb(shift);
+      row.shift_toward_lsb(shift);
+    } else {
+      naive.shift_toward_msb(shift);
+      row.shift_toward_msb(shift);
+    }
+    EXPECT_EQ(row, naive.to_bitrow()) << "width " << width << " shift " << shift;
+  }
+}
+
+TEST_P(BitRowWidths, CountAndRangeConsistent) {
+  const std::uint32_t width = GetParam();
+  Rng rng(width * 17 + 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const NaiveRow naive = NaiveRow::random(width, rng, 0.4);
+    const BitRow row = naive.to_bitrow();
+    EXPECT_EQ(row.count(), naive.count());
+    const std::uint32_t lo = rng.uniform_below(width + 1);
+    const std::uint32_t hi = lo + rng.uniform_below(width + 1 - lo);
+    std::uint32_t expected = 0;
+    for (std::uint32_t i = lo; i < hi; ++i) expected += naive.bits[i] ? 1u : 0u;
+    EXPECT_EQ(row.count_range(lo, hi), expected);
+    EXPECT_EQ(row.holes_below(hi), hi - row.count_range(0, hi));
+  }
+}
+
+TEST_P(BitRowWidths, CompactionInvariants) {
+  const std::uint32_t width = GetParam();
+  Rng rng(width * 13 + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const BitRow row = NaiveRow::random(width, rng, 0.5).to_bitrow();
+    const BitRow compacted = row.compacted();
+    EXPECT_EQ(compacted.count(), row.count());
+    EXPECT_TRUE(compacted.all_set_below(row.count()));
+    const auto displacements = row.compaction_displacements();
+    EXPECT_EQ(displacements.size(), row.count());
+    // Displacements are the hole counts: non-decreasing, bounded by holes.
+    for (std::size_t i = 1; i < displacements.size(); ++i)
+      EXPECT_GE(displacements[i], displacements[i - 1]);
+    if (!displacements.empty()) {
+      EXPECT_LE(displacements.back(), width - row.count());
+    }
+  }
+}
+
+TEST_P(BitRowWidths, ReversalIsInvolutionAndPreservesCount) {
+  const std::uint32_t width = GetParam();
+  Rng rng(width * 11 + 5);
+  const BitRow row = NaiveRow::random(width, rng, 0.5).to_bitrow();
+  EXPECT_EQ(row.reversed().reversed(), row);
+  EXPECT_EQ(row.reversed().count(), row.count());
+  if (width > 0 && row.any()) {
+    EXPECT_EQ(row.reversed().test(0), row.test(width - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaryWidths, BitRowWidths,
+                         ::testing::Values<std::uint32_t>(1, 7, 63, 64, 65, 127, 128, 129, 200));
+
+// ---------------------------------------------------------------------------
+// Grid flip algebra
+// ---------------------------------------------------------------------------
+
+TEST(GridAlgebra, HorizontalThenVerticalIsRotate180) {
+  const OccupancyGrid g = load_random(9, 13, {0.5, 77});
+  EXPECT_EQ(g.flipped(Flip::Horizontal).flipped(Flip::Vertical), g.flipped(Flip::Rotate180));
+  EXPECT_EQ(g.flipped(Flip::Vertical).flipped(Flip::Horizontal), g.flipped(Flip::Rotate180));
+}
+
+TEST(GridAlgebra, TransposeConjugatesMirrors) {
+  // T o H == V o T (mirroring columns then transposing = transposing then
+  // mirroring rows).
+  const OccupancyGrid g = load_random(8, 11, {0.5, 78});
+  EXPECT_EQ(g.flipped(Flip::Horizontal).flipped(Flip::Transpose),
+            g.flipped(Flip::Transpose).flipped(Flip::Vertical));
+}
+
+TEST(GridAlgebra, FlipsPreserveAtomCount) {
+  const OccupancyGrid g = load_random(10, 6, {0.45, 79});
+  for (const Flip f :
+       {Flip::None, Flip::Horizontal, Flip::Vertical, Flip::Transpose, Flip::Rotate180}) {
+    EXPECT_EQ(g.flipped(f).atom_count(), g.atom_count());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quadrant frame invariants
+// ---------------------------------------------------------------------------
+
+class QuadrantSizes : public ::testing::TestWithParam<std::pair<std::int32_t, std::int32_t>> {};
+
+TEST_P(QuadrantSizes, LocalAtomCountsPartitionTheGlobalCount) {
+  const auto [h, w] = GetParam();
+  const OccupancyGrid g = load_random(h, w, {0.5, static_cast<std::uint64_t>(h * w)});
+  const QuadrantGeometry geom(h, w);
+  std::int64_t total = 0;
+  for (const Quadrant q : kAllQuadrants) total += geom.extract_local(g, q).atom_count();
+  EXPECT_EQ(total, g.atom_count());
+}
+
+TEST_P(QuadrantSizes, LocalFrameOrientationIsCentreFirst) {
+  // Filling the centre 2x2 of the global grid must appear at local (0,0)
+  // of every quadrant.
+  const auto [h, w] = GetParam();
+  OccupancyGrid g(h, w);
+  g.set({h / 2 - 1, w / 2 - 1});
+  g.set({h / 2 - 1, w / 2});
+  g.set({h / 2, w / 2 - 1});
+  g.set({h / 2, w / 2});
+  const QuadrantGeometry geom(h, w);
+  for (const Quadrant q : kAllQuadrants) {
+    const OccupancyGrid local = geom.extract_local(g, q);
+    EXPECT_TRUE(local.occupied({0, 0})) << to_cstring(q);
+    EXPECT_EQ(local.atom_count(), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EvenSizes, QuadrantSizes,
+                         ::testing::Values(std::pair{4, 4}, std::pair{6, 10}, std::pair{12, 8},
+                                           std::pair{50, 50}));
+
+// ---------------------------------------------------------------------------
+// Realizer on the column axis, randomized
+// ---------------------------------------------------------------------------
+
+TEST(RealizerProperty, RandomColumnAssignmentsReplayCleanly) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    OccupancyGrid g = load_random(12, 9, {0.4, 4000 + static_cast<std::uint64_t>(trial)});
+    const OccupancyGrid initial = g;
+    std::vector<LineAssignment> lines;
+    for (std::int32_t c = 0; c < g.width(); ++c) {
+      const auto atoms = g.column(c).set_positions();
+      if (atoms.empty()) continue;
+      std::set<std::int32_t> placement;
+      while (placement.size() < atoms.size()) {
+        placement.insert(static_cast<std::int32_t>(rng.uniform_below(12)));
+      }
+      LineAssignment a;
+      a.line = c;
+      for (const auto p : atoms) a.sources.push_back(static_cast<std::int32_t>(p));
+      a.targets.assign(placement.begin(), placement.end());
+      lines.push_back(std::move(a));
+    }
+    Schedule s;
+    (void)realize_assignments(g, Axis::Cols, lines, s);
+    OccupancyGrid replay = initial;
+    const ExecutionReport report = run_schedule(replay, s, {.check_aod = true});
+    ASSERT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(replay, g);
+    // All moves on the column axis are vertical.
+    for (const auto& m : s.moves()) EXPECT_FALSE(is_horizontal(m.dir));
+  }
+}
+
+}  // namespace
+}  // namespace qrm

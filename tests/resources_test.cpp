@@ -1,0 +1,123 @@
+// Tests for the FPGA resource model: trends, calibration anchors, breakdown
+// consistency, and device fit.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "resources/model.hpp"
+#include "util/stats.hpp"
+
+namespace qrm::res {
+namespace {
+
+TEST(Resources, DeviceSpecs) {
+  const DeviceSpec d = zcu216();
+  EXPECT_EQ(d.luts, 425'280u);
+  EXPECT_EQ(d.ffs, 850'560u);
+  EXPECT_EQ(d.bram36, 1080u);
+}
+
+TEST(Resources, Fig8AnchorAtW90) {
+  // Paper Fig. 8: at a 90x90 initial array, LUT 6.31% and FF 6.19% on the
+  // XCZU49DR; the model is calibrated to land near those anchors.
+  const Utilization u = estimate_accelerator(90);
+  const DeviceSpec d = zcu216();
+  EXPECT_NEAR(u.lut_fraction(d), 0.0631, 0.008);
+  EXPECT_NEAR(u.ff_fraction(d), 0.0619, 0.008);
+}
+
+TEST(Resources, BramFlatAcrossSizes) {
+  const std::uint32_t bram10 = estimate_accelerator(10).bram36;
+  for (const std::int32_t w : {30, 50, 70, 90}) {
+    EXPECT_EQ(estimate_accelerator(w).bram36, bram10)
+        << "BRAM must stay flat across array sizes (paper Fig. 8)";
+  }
+}
+
+TEST(Resources, LutFfLinearWithFfSlopeSteeper) {
+  std::vector<double> ws, luts, ffs;
+  const DeviceSpec d = zcu216();
+  for (const std::int32_t w : {10, 30, 50, 70, 90}) {
+    const Utilization u = estimate_accelerator(w);
+    ws.push_back(w);
+    luts.push_back(u.lut_fraction(d));
+    ffs.push_back(u.ff_fraction(d));
+  }
+  const auto lut_fit = stats::linear_fit(ws, luts);
+  const auto ff_fit = stats::linear_fit(ws, ffs);
+  EXPECT_GT(lut_fit.r_squared, 0.999) << "LUT trend must be linear";
+  EXPECT_GT(ff_fit.r_squared, 0.999) << "FF trend must be linear";
+  EXPECT_GT(ff_fit.slope, lut_fit.slope)
+      << "FF utilisation must grow slightly faster than LUT (paper Fig. 8)";
+  for (std::size_t i = 1; i < ws.size(); ++i) {
+    EXPECT_GT(luts[i], luts[i - 1]);
+    EXPECT_GT(ffs[i], ffs[i - 1]);
+  }
+}
+
+TEST(Resources, QpmIsRoughlyHalfOfGrowth) {
+  // Paper Sec. V-C: "about half of the resources are occupied by the four
+  // QPM, and the other half belongs to the logic to integrate the outputs".
+  const auto breakdown = estimate_breakdown(90);
+  Utilization qpm, rest;
+  for (const auto& m : breakdown) {
+    if (m.module.find("QPM") != std::string::npos) {
+      qpm += m.usage;
+    } else {
+      rest += m.usage;
+    }
+  }
+  const double qpm_share =
+      static_cast<double>(qpm.ffs) / static_cast<double>(qpm.ffs + rest.ffs);
+  EXPECT_GT(qpm_share, 0.3);
+  EXPECT_LT(qpm_share, 0.6);
+}
+
+TEST(Resources, BreakdownSumsToTotal) {
+  for (const std::int32_t w : {10, 50, 90}) {
+    Utilization sum;
+    for (const auto& m : estimate_breakdown(w)) sum += m.usage;
+    const Utilization total = estimate_accelerator(w);
+    EXPECT_EQ(sum.luts, total.luts);
+    EXPECT_EQ(sum.ffs, total.ffs);
+    EXPECT_EQ(sum.bram36, total.bram36);
+  }
+}
+
+TEST(Resources, PathwayAblationScalesQpm) {
+  ResourceModelConfig one;
+  one.quadrant_pathways = 1;
+  ResourceModelConfig four;
+  four.quadrant_pathways = 4;
+  const Utilization u1 = estimate_accelerator(50, one);
+  const Utilization u4 = estimate_accelerator(50, four);
+  EXPECT_LT(u1.ffs, u4.ffs);
+  const std::uint64_t kernel_ffs = estimate_shift_kernel(25).ffs;
+  EXPECT_EQ(u4.ffs - u1.ffs, 3 * kernel_ffs);
+}
+
+TEST(Resources, FitsDeviceWithLargeHeadroom) {
+  // Paper: "ensuring enough space for other essential functional blocks".
+  const Utilization u = estimate_accelerator(90);
+  EXPECT_TRUE(fits(u, zcu216(), 0.9)) << "90x90 design must use <10% of the device";
+  EXPECT_FALSE(fits(u, DeviceSpec{"tiny", 1000, 1000, 1}));
+}
+
+TEST(Resources, RejectsOddWidthAndBadMargin) {
+  EXPECT_THROW((void)estimate_accelerator(15), PreconditionError);
+  EXPECT_THROW((void)fits(Utilization{}, zcu216(), 1.5), PreconditionError);
+}
+
+TEST(Resources, WiderPacketsCostMoreInfrastructure) {
+  EXPECT_GT(estimate_infrastructure(2048).ffs, estimate_infrastructure(256).ffs);
+  ResourceModelConfig narrow;
+  narrow.packet_bits = 128;
+  ResourceModelConfig wide;
+  wide.packet_bits = 2048;
+  EXPECT_GT(estimate_accelerator(50, wide).luts, estimate_accelerator(50, narrow).luts);
+}
+
+}  // namespace
+}  // namespace qrm::res

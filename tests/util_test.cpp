@@ -1,0 +1,272 @@
+// Tests for util: BitRow (the shift-kernel datatype), RNG, stats, CSV, table.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/bitrow.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace qrm {
+namespace {
+
+TEST(BitRow, ConstructsZeroed) {
+  const BitRow row(130);
+  EXPECT_EQ(row.width(), 130u);
+  EXPECT_EQ(row.count(), 0u);
+  EXPECT_TRUE(row.none());
+}
+
+TEST(BitRow, SetAndTestAcrossWordBoundaries) {
+  BitRow row(130);
+  for (const std::uint32_t i : {0u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    row.set(i);
+    EXPECT_TRUE(row.test(i));
+  }
+  EXPECT_EQ(row.count(), 7u);
+  row.clear(64);
+  EXPECT_FALSE(row.test(64));
+  EXPECT_EQ(row.count(), 6u);
+}
+
+TEST(BitRow, FromStringRoundTrip) {
+  const std::string text = "0110010111";
+  const BitRow row = BitRow::from_string(text);
+  EXPECT_EQ(row.to_string(), text);
+  EXPECT_EQ(row.count(), 6u);
+  EXPECT_EQ(BitRow::from_string(".##.").to_art(), ".##.");
+}
+
+TEST(BitRow, FromStringRejectsJunk) {
+  EXPECT_THROW((void)BitRow::from_string("01x"), PreconditionError);
+}
+
+TEST(BitRow, BoundsChecked) {
+  BitRow row(10);
+  EXPECT_THROW((void)row.test(10), PreconditionError);
+  EXPECT_THROW(row.set(10), PreconditionError);
+}
+
+TEST(BitRow, CountRange) {
+  const BitRow row = BitRow::from_string("1101100111");
+  EXPECT_EQ(row.count_range(0, 10), 7u);
+  EXPECT_EQ(row.count_range(0, 0), 0u);
+  EXPECT_EQ(row.count_range(2, 5), 2u);
+  EXPECT_THROW((void)row.count_range(5, 2), PreconditionError);
+}
+
+TEST(BitRow, CountRangeWideRow) {
+  BitRow row(200);
+  for (std::uint32_t i = 0; i < 200; i += 3) row.set(i);
+  std::uint32_t expected = 0;
+  for (std::uint32_t i = 10; i < 190; ++i)
+    if (i % 3 == 0) ++expected;
+  EXPECT_EQ(row.count_range(10, 190), expected);
+}
+
+TEST(BitRow, ShiftTowardLsb) {
+  BitRow row = BitRow::from_string("0011010001");
+  row.shift_toward_lsb(2);
+  EXPECT_EQ(row.to_string(), "1101000100");
+  row.shift_toward_lsb(100);
+  EXPECT_TRUE(row.none());
+}
+
+TEST(BitRow, ShiftTowardMsb) {
+  BitRow row = BitRow::from_string("1100000001");
+  row.shift_toward_msb(3);
+  EXPECT_EQ(row.to_string(), "0001100000");  // the MSB '1' fell off
+}
+
+TEST(BitRow, ShiftsAcrossWordBoundary) {
+  BitRow row(100);
+  row.set(70);
+  row.shift_toward_lsb(10);
+  EXPECT_TRUE(row.test(60));
+  row.shift_toward_msb(35);
+  EXPECT_TRUE(row.test(95));
+  EXPECT_EQ(row.count(), 1u);
+}
+
+TEST(BitRow, HoleQueries) {
+  const BitRow row = BitRow::from_string("1101011");
+  EXPECT_EQ(row.first_hole(), 2u);
+  EXPECT_EQ(row.first_atom(), 0u);
+  EXPECT_EQ(row.holes_below(0), 0u);
+  EXPECT_EQ(row.holes_below(5), 2u);
+  EXPECT_EQ(row.holes_below(7), 2u);
+  EXPECT_EQ(row.hole_positions(), (std::vector<std::uint32_t>{2, 4}));
+  const BitRow full = BitRow::from_string("111");
+  EXPECT_EQ(full.first_hole(), 3u);
+  const BitRow empty = BitRow::from_string("000");
+  EXPECT_EQ(empty.first_atom(), 3u);
+}
+
+TEST(BitRow, CompactionPrimitives) {
+  const BitRow row = BitRow::from_string("0101001");
+  EXPECT_EQ(row.compacted().to_string(), "1110000");
+  EXPECT_EQ(row.compaction_displacements(), (std::vector<std::uint32_t>{1, 2, 4}));
+}
+
+TEST(BitRow, Reversed) {
+  const BitRow row = BitRow::from_string("1100101");
+  EXPECT_EQ(row.reversed().to_string(), "1010011");
+  EXPECT_EQ(row.reversed().reversed(), row);
+}
+
+TEST(BitRow, SetPositionsAndForEach) {
+  const BitRow row = BitRow::from_string("010010001");
+  EXPECT_EQ(row.set_positions(), (std::vector<std::uint32_t>{1, 4, 8}));
+  std::uint32_t sum = 0;
+  row.for_each_set([&sum](std::uint32_t i) { sum += i; });
+  EXPECT_EQ(sum, 13u);
+}
+
+TEST(BitRow, BitwiseOps) {
+  BitRow a = BitRow::from_string("1100");
+  const BitRow b = BitRow::from_string("1010");
+  BitRow and_row = a;
+  and_row &= b;
+  EXPECT_EQ(and_row.to_string(), "1000");
+  BitRow or_row = a;
+  or_row |= b;
+  EXPECT_EQ(or_row.to_string(), "1110");
+  BitRow xor_row = a;
+  xor_row ^= b;
+  EXPECT_EQ(xor_row.to_string(), "0110");
+  EXPECT_THROW(a &= BitRow(5), PreconditionError);
+}
+
+TEST(BitRow, FillAndTailMasking) {
+  BitRow row(70);
+  row.fill();
+  EXPECT_EQ(row.count(), 70u);
+  row.shift_toward_msb(1);
+  EXPECT_EQ(row.count(), 69u) << "bits must not survive beyond width";
+}
+
+TEST(BitRow, AssignWords) {
+  BitRow row(70);
+  row.assign_words({~0ULL, ~0ULL});
+  EXPECT_EQ(row.count(), 70u) << "tail bits beyond width must be masked";
+  EXPECT_THROW(row.assign_words({1ULL}), PreconditionError);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c(124);
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) differs |= (a2.next_u64() != c.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformBelowInRangeAndRoughlyUniform) {
+  Rng rng(7);
+  std::array<int, 10> buckets{};
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint32_t v = rng.uniform_below(10);
+    ASSERT_LT(v, 10u);
+    buckets[v]++;
+  }
+  for (const int b : buckets) EXPECT_NEAR(b, 1000, 250);
+  EXPECT_EQ(rng.uniform_below(0), 0u);
+  EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.normal(5.0, 2.0);
+  EXPECT_NEAR(stats::mean(xs), 5.0, 0.1);
+  EXPECT_NEAR(stats::stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, PoissonMoments) {
+  Rng rng(17);
+  std::vector<double> small(20000);
+  for (auto& x : small) x = rng.poisson(3.0);
+  EXPECT_NEAR(stats::mean(small), 3.0, 0.15);
+  std::vector<double> large(20000);
+  for (auto& x : large) x = rng.poisson(200.0);
+  EXPECT_NEAR(stats::mean(large), 200.0, 1.5);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Stats, Basics) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(stats::variance(xs), 2.5);
+  EXPECT_DOUBLE_EQ(stats::min(xs), 1.0);
+  EXPECT_DOUBLE_EQ(stats::max(xs), 5.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 100), 5.0);
+  EXPECT_EQ(stats::mean({}), 0.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.5 * i + 2.0);
+  }
+  const auto fit = stats::linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(Csv, WritesHeaderRowsAndEscapes) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.header({"a", "b"});
+  csv.row(1, "plain");
+  csv.row(2.5, "needs,quote");
+  csv.row(3, "has\"quote");
+  EXPECT_EQ(os.str(), "a,b\n1,plain\n2.5,\"needs,quote\"\n3,\"has\"\"quote\"\n");
+  EXPECT_EQ(csv.rows_written(), 3u);
+}
+
+TEST(Csv, HeaderAfterRowsRejected) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row(1);
+  EXPECT_THROW(csv.header({"late"}), PreconditionError);
+}
+
+TEST(Table, RendersAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name   value"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_time_us(0.5), "500 ns");
+  EXPECT_EQ(fmt_time_us(12.345), "12.35 us");
+  EXPECT_EQ(fmt_time_us(2500.0), "2.50 ms");
+  EXPECT_EQ(fmt_speedup(54.21), "54.2x");
+  EXPECT_EQ(fmt_speedup(300.4), "300x");
+  EXPECT_EQ(fmt_percent(0.0631), "6.31%");
+}
+
+}  // namespace
+}  // namespace qrm
