@@ -1,0 +1,35 @@
+# Helper for declaring the per-module static libraries that make up the
+# qrm reproduction. Usage:
+#
+#   qrm_add_module(lattice
+#     SOURCES grid.cpp quadrant.cpp region.cpp
+#     DEPENDS qrm::util)
+#
+# Creates target `qrm_lattice` with alias `qrm::lattice`, rooted at src/
+# so includes are written as "lattice/grid.hpp" everywhere.
+function(qrm_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPENDS" ${ARGN})
+
+  set(target qrm_${name})
+  add_library(${target} STATIC ${ARG_SOURCES})
+  add_library(qrm::${name} ALIAS ${target})
+
+  target_include_directories(${target} PUBLIC ${PROJECT_SOURCE_DIR}/src)
+  target_link_libraries(${target} PRIVATE qrm::warnings)
+  if(ARG_DEPENDS)
+    target_link_libraries(${target} PUBLIC ${ARG_DEPENDS})
+  endif()
+endfunction()
+
+# Helper for the repo's executables (tests, benches, examples).
+#
+#   qrm_add_executable(quickstart
+#     SOURCES quickstart.cpp
+#     DEPENDS qrm::runtime)
+function(qrm_add_executable name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPENDS" ${ARGN})
+
+  add_executable(${name} ${ARG_SOURCES})
+  target_link_libraries(${name} PRIVATE qrm::warnings ${ARG_DEPENDS})
+  target_include_directories(${name} PRIVATE ${CMAKE_CURRENT_SOURCE_DIR})
+endfunction()

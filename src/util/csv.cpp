@@ -12,7 +12,7 @@ void CsvWriter::header(const std::vector<std::string>& names) {
 }
 
 std::string CsvWriter::escape(const std::string& cell) {
-  const bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  const bool needs_quote = cell.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quote) return cell;
   std::string out = "\"";
   for (const char c : cell) {
@@ -23,7 +23,74 @@ std::string CsvWriter::escape(const std::string& cell) {
   return out;
 }
 
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;  // distinguishes "" (one empty cell) from nothing
+  bool quote_closed = false;  // a quoted cell ended; only , or newline may follow
+
+  const auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+    quote_closed = false;
+  };
+  const auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+          quote_closed = true;
+        }
+      } else {
+        cell.push_back(c);
+      }
+      continue;
+    }
+    QRM_EXPECTS_MSG(!quote_closed || c == ',' || c == '\r' || c == '\n',
+                    "CSV: text after closing quote");
+    switch (c) {
+      case '"':
+        QRM_EXPECTS_MSG(cell.empty() && !cell_started, "CSV: quote inside unquoted field");
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        end_cell();
+        break;
+      case '\r':
+        if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        end_row();
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        cell.push_back(c);
+        cell_started = true;
+        break;
+    }
+  }
+  QRM_EXPECTS_MSG(!in_quotes, "CSV: unterminated quoted field");
+  // Final row without a trailing newline.
+  if (cell_started || !cell.empty() || !row.empty()) end_row();
+  return rows;
+}
+
 void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  QRM_EXPECTS_MSG(!cells.empty(), "CSV rows must have at least one cell");
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i != 0) *out_ << ',';
     *out_ << escape(cells[i]);

@@ -28,6 +28,9 @@ class CsvWriter {
     write_cells(cells);
   }
 
+  /// Write one data row from pre-stringified cells.
+  void write_row(const std::vector<std::string>& cells) { write_cells(cells); }
+
   [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
 
  private:
@@ -44,6 +47,14 @@ class CsvWriter {
   std::size_t rows_ = 0;
   bool header_written_ = false;
 };
+
+/// Parse RFC 4180 CSV text into rows of cells: quoted fields may contain
+/// commas, newlines, carriage returns and doubled quotes; a trailing
+/// newline does not produce an empty final row. Inverse of CsvWriter for
+/// all writable content (rows are never empty; see write_cells). Throws
+/// PreconditionError on malformed input (stray quote, text after a closing
+/// quote, unterminated quoted field).
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(const std::string& text);
 
 /// Convenience owner of an output file + CsvWriter.
 class CsvFile {

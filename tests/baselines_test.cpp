@@ -10,18 +10,12 @@
 #include "baselines/algorithm.hpp"
 #include "baselines/common.hpp"
 #include "loading/loader.hpp"
-#include "moves/executor.hpp"
+#include "testutil.hpp"
 
 namespace qrm::baselines {
 namespace {
 
-void expect_valid(const OccupancyGrid& initial, const PlanResult& result) {
-  OccupancyGrid replay = initial;
-  const ExecutionReport report = run_schedule(replay, result.schedule, {.check_aod = true});
-  ASSERT_TRUE(report.ok) << report.error;
-  EXPECT_EQ(replay, result.final_grid);
-  EXPECT_EQ(replay.atom_count(), initial.atom_count());
-}
+using testutil::expect_plan_valid;
 
 TEST(Baselines, RegistryKnowsAllNames) {
   for (const auto& name : algorithm_names()) {
@@ -94,7 +88,7 @@ TEST_P(AllAlgorithms, FillsFig7bWorkloadWithValidSchedule) {
     const OccupancyGrid initial = load_random(20, 20, {0.55, seed});
     const Region target = centered_square(20, 12);
     const PlanResult result = algo->plan(initial, target);
-    expect_valid(initial, result);
+    expect_plan_valid(initial, result);
     if (result.stats.target_filled) ++filled;
   }
   if (GetParam() == "qrm-compact" || GetParam() == "typical") {
@@ -118,7 +112,7 @@ TEST(Baselines, Mta1IsStrictlySequential) {
     EXPECT_EQ(move.sites.size(), 1u) << "MTA1 must move one atom per command";
     EXPECT_EQ(move.steps, 1) << "MTA1 issues elementary steps";
   }
-  expect_valid(initial, result);
+  expect_plan_valid(initial, result);
 }
 
 TEST(Baselines, ParallelAlgorithmsBeatMta1OnCommandCount) {
@@ -145,8 +139,8 @@ TEST(Baselines, TetrisAndPscaReachSameOccupancyFamily) {
   const auto psca = make_algorithm("psca")->plan(initial, target);
   EXPECT_TRUE(tetris.stats.target_filled);
   EXPECT_TRUE(psca.stats.target_filled);
-  expect_valid(initial, tetris);
-  expect_valid(initial, psca);
+  expect_plan_valid(initial, tetris);
+  expect_plan_valid(initial, psca);
 }
 
 TEST(Baselines, InfeasibleWorkloadReportedNotCrashed) {
@@ -156,7 +150,7 @@ TEST(Baselines, InfeasibleWorkloadReportedNotCrashed) {
     const PlanResult result = make_algorithm(name)->plan(initial, target);
     EXPECT_FALSE(result.stats.target_filled) << name;
     EXPECT_FALSE(result.stats.feasible) << name;
-    expect_valid(initial, result);
+    expect_plan_valid(initial, result);
   }
 }
 
@@ -166,7 +160,7 @@ TEST(Baselines, RectangularTargetsWork) {
   for (const auto& name : {"tetris", "psca", "mta1"}) {
     const PlanResult result = make_algorithm(name)->plan(initial, target);
     EXPECT_TRUE(result.stats.target_filled) << name;
-    expect_valid(initial, result);
+    expect_plan_valid(initial, result);
   }
 }
 

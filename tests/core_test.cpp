@@ -13,20 +13,14 @@
 #include "core/typical.hpp"
 #include "lattice/quadrant.hpp"
 #include "loading/loader.hpp"
-#include "moves/executor.hpp"
+#include "testutil.hpp"
 
 namespace qrm {
 namespace {
 
 /// Executes `result.schedule` on `initial` with full validation (including
 /// the AOD cross-product rule) and checks it reproduces result.final_grid.
-void expect_schedule_valid(const OccupancyGrid& initial, const PlanResult& result) {
-  OccupancyGrid replay = initial;
-  const ExecutionReport report = run_schedule(replay, result.schedule, {.check_aod = true});
-  ASSERT_TRUE(report.ok) << report.error;
-  EXPECT_EQ(replay, result.final_grid);
-  EXPECT_EQ(replay.atom_count(), initial.atom_count()) << "atoms must be conserved";
-}
+using testutil::expect_plan_valid;
 
 TEST(QrmPlanner, FillsPaperHeadlineConfiguration) {
   // The paper's headline experiment: 30x30 defect-free array from a 50x50
@@ -35,7 +29,7 @@ TEST(QrmPlanner, FillsPaperHeadlineConfiguration) {
   const PlanResult result = plan_qrm(initial, 30);
   EXPECT_TRUE(result.stats.target_filled)
       << "defects: " << result.stats.defects_remaining;
-  expect_schedule_valid(initial, result);
+  expect_plan_valid(initial, result);
 }
 
 TEST(QrmPlanner, BalancedFillsAtExactly50PercentTypicalSeeds) {
@@ -45,7 +39,7 @@ TEST(QrmPlanner, BalancedFillsAtExactly50PercentTypicalSeeds) {
     const OccupancyGrid initial =
         load_random(50, 50, {0.5, static_cast<std::uint64_t>(seed) + 1});
     const PlanResult result = plan_qrm(initial, 30);
-    expect_schedule_valid(initial, result);
+    expect_plan_valid(initial, result);
     if (result.stats.target_filled) ++filled;
   }
   // At exactly 50% fill each quadrant holds ~312 atoms for a 225-site
@@ -60,7 +54,7 @@ TEST(QrmPlanner, ReportsInfeasibleWhenAtomsShort) {
   EXPECT_FALSE(result.stats.target_filled);
   EXPECT_FALSE(result.stats.feasible);
   EXPECT_GT(result.stats.defects_remaining, 0);
-  expect_schedule_valid(initial, result);  // partial schedule still legal
+  expect_plan_valid(initial, result);  // partial schedule still legal
 }
 
 TEST(QrmPlanner, CompactModeMatchesTypicalReference) {
@@ -73,8 +67,8 @@ TEST(QrmPlanner, CompactModeMatchesTypicalReference) {
     typical_config.target = centered_square(20, 8);
     const PlanResult typical_result = plan_typical(initial, typical_config);
     EXPECT_EQ(qrm_result.final_grid, typical_result.final_grid) << "seed " << seed;
-    expect_schedule_valid(initial, qrm_result);
-    expect_schedule_valid(initial, typical_result);
+    expect_plan_valid(initial, qrm_result);
+    expect_plan_valid(initial, typical_result);
   }
 }
 
@@ -82,7 +76,7 @@ TEST(QrmPlanner, CompactModeFillsSmallTargetsAtHighFill) {
   const OccupancyGrid initial = load_random(40, 40, {0.7, 11});
   const PlanResult result = plan_qrm(initial, 12, PlanMode::Compact);
   EXPECT_TRUE(result.stats.target_filled);
-  expect_schedule_valid(initial, result);
+  expect_plan_valid(initial, result);
 }
 
 TEST(QrmPlanner, MergeHalvesCommandCountButNotSemantics) {
@@ -100,8 +94,8 @@ TEST(QrmPlanner, MergeHalvesCommandCountButNotSemantics) {
   EXPECT_EQ(merged.final_grid, unmerged.final_grid);
   EXPECT_LT(merged.schedule.size(), unmerged.schedule.size())
       << "cross-quadrant merge must reduce the number of commands";
-  expect_schedule_valid(initial, merged);
-  expect_schedule_valid(initial, unmerged);
+  expect_plan_valid(initial, merged);
+  expect_plan_valid(initial, unmerged);
 }
 
 TEST(QrmPlanner, SenGateBlocksFarAtoms) {
@@ -112,7 +106,7 @@ TEST(QrmPlanner, SenGateBlocksFarAtoms) {
   config.target = centered_square(20, 8);
   config.sen_limit = 6;  // only the 6 centre-most local positions may shift
   const PlanResult result = QrmPlanner(config).plan(initial);
-  expect_schedule_valid(initial, result);
+  expect_plan_valid(initial, result);
   // The gate is per scan axis: an atom may shift horizontally only when its
   // local column is below the gate and vertically only when its local row
   // is. Cells with BOTH local coordinates at or beyond the gate can
@@ -154,12 +148,12 @@ TEST(QrmPlanner, RectangularGridsAndTargets) {
   config.target = centered_region(20, 32, 12, 18);
   const PlanResult result = QrmPlanner(config).plan(initial);
   EXPECT_TRUE(result.stats.target_filled) << "defects " << result.stats.defects_remaining;
-  expect_schedule_valid(initial, result);
+  expect_plan_valid(initial, result);
 
   QrmConfig compact = config;
   compact.mode = PlanMode::Compact;
   const PlanResult compact_result = QrmPlanner(compact).plan(initial);
-  expect_schedule_valid(initial, compact_result);
+  expect_plan_valid(initial, compact_result);
 }
 
 TEST(QrmPlanner, EmptyGridProducesEmptySchedule) {
@@ -184,7 +178,7 @@ TEST(QrmPlanner, ChequerboardIsBalanceable) {
   const OccupancyGrid initial = load_pattern(40, 40, Pattern::Checkerboard);
   const PlanResult result = plan_qrm(initial, 20);
   EXPECT_TRUE(result.stats.target_filled);
-  expect_schedule_valid(initial, result);
+  expect_plan_valid(initial, result);
 }
 
 TEST(QrmPlanner, RowStripesNeedVerticalRedistribution) {
@@ -192,7 +186,7 @@ TEST(QrmPlanner, RowStripesNeedVerticalRedistribution) {
   const OccupancyGrid initial = load_pattern(24, 24, Pattern::RowStripes);
   const PlanResult result = plan_qrm(initial, 12);
   EXPECT_TRUE(result.stats.target_filled);
-  expect_schedule_valid(initial, result);
+  expect_plan_valid(initial, result);
 }
 
 TEST(QrmPlanner, PassInfoAccountsForEveryMovedAtom) {
@@ -224,7 +218,7 @@ TEST_P(QrmSweep, LegalAndFillsWhenFeasible) {
   const std::int32_t target_size = size * 3 / 5 / 2 * 2;  // ~0.6*size, even
   if (target_size < 2) GTEST_SKIP();
   const PlanResult result = plan_qrm(initial, target_size);
-  expect_schedule_valid(initial, result);
+  expect_plan_valid(initial, result);
   if (result.stats.feasible) {
     EXPECT_TRUE(result.stats.target_filled)
         << "size=" << size << " fill=" << fill << " seed=" << seed
@@ -247,7 +241,7 @@ TEST_P(CompactSweep, LegalAndMatchesTypical) {
   const std::int32_t target_size = size / 2 / 2 * 2;
   if (target_size < 2) GTEST_SKIP();
   const PlanResult qrm_result = plan_qrm(initial, target_size, PlanMode::Compact);
-  expect_schedule_valid(initial, qrm_result);
+  expect_plan_valid(initial, qrm_result);
   TypicalConfig typical_config;
   typical_config.target = centered_square(size, target_size);
   const PlanResult typical_result = plan_typical(initial, typical_config);

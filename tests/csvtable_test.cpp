@@ -1,0 +1,119 @@
+// Round-trip tests for util/csv (write -> parse -> compare) and rendering
+// invariants for util/table, including quoting and empty-field edge cases.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace qrm {
+namespace {
+
+using Rows = std::vector<std::vector<std::string>>;
+
+/// Write `rows` through CsvWriter and parse the emission back.
+Rows round_trip(const Rows& rows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  for (const auto& row : rows) csv.write_row(row);
+  return parse_csv(os.str());
+}
+
+TEST(CsvRoundTrip, PlainCells) {
+  const Rows rows{{"a", "b", "c"}, {"1", "2", "3"}};
+  EXPECT_EQ(round_trip(rows), rows);
+}
+
+TEST(CsvRoundTrip, QuotedCommasQuotesAndNewlines) {
+  const Rows rows{
+      {"needs,comma", "has\"quote", "multi\nline"},
+      {"\"fully quoted\"", "trailing,", ",leading"},
+      {"carriage\rreturn", "crlf\r\npair", "plain"},
+  };
+  EXPECT_EQ(round_trip(rows), rows);
+}
+
+TEST(CsvRoundTrip, EmptyFields) {
+  const Rows rows{
+      {"", "middle", ""},
+      {"", "", ""},
+      {"only"},
+  };
+  EXPECT_EQ(round_trip(rows), rows);
+}
+
+TEST(CsvRoundTrip, HeaderAndHeterogeneousRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.header({"name", "value", "note"});
+  csv.row("alpha", 1, "plain");
+  csv.row("beta", 2.5, "needs,quote");
+  const Rows parsed = parse_csv(os.str());
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[0], (std::vector<std::string>{"name", "value", "note"}));
+  EXPECT_EQ(parsed[1], (std::vector<std::string>{"alpha", "1", "plain"}));
+  EXPECT_EQ(parsed[2], (std::vector<std::string>{"beta", "2.5", "needs,quote"}));
+}
+
+TEST(CsvParse, AcceptsCrlfAndMissingFinalNewline) {
+  EXPECT_EQ(parse_csv("a,b\r\nc,d"), (Rows{{"a", "b"}, {"c", "d"}}));
+  EXPECT_EQ(parse_csv("a,b\nc,d\n"), (Rows{{"a", "b"}, {"c", "d"}}));
+  EXPECT_EQ(parse_csv(""), Rows{});
+}
+
+TEST(CsvParse, SingleEmptyCellRow) {
+  // A lone comma is two empty cells; a quoted empty string is one.
+  EXPECT_EQ(parse_csv(",\n"), (Rows{{"", ""}}));
+  EXPECT_EQ(parse_csv("\"\"\n"), (Rows{{""}}));
+}
+
+TEST(CsvParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_csv("a\"b,c"), PreconditionError);
+  EXPECT_THROW((void)parse_csv("\"unterminated"), PreconditionError);
+  EXPECT_THROW((void)parse_csv("\"a\"b,c"), PreconditionError);
+}
+
+TEST(CsvWrite, RejectsEmptyRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  EXPECT_THROW(csv.write_row({}), PreconditionError);
+  EXPECT_THROW(csv.header({}), PreconditionError);
+}
+
+TEST(TableRoundTrip, RenderPreservesEveryCell) {
+  TextTable t({"algo", "latency", "speedup"});
+  t.add_row({"qrm", "1.04 us", "54.2x"});
+  t.add_row({"mta-1", "56.3 us", "1.0x"});
+  const std::string out = t.render();
+  for (const std::string cell : {"algo", "latency", "speedup", "qrm", "1.04 us", "54.2x",
+                                 "mta-1", "56.3 us", "1.0x"}) {
+    EXPECT_NE(out.find(cell), std::string::npos) << cell;
+  }
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableRoundTrip, ColumnsStayAlignedAcrossWidths) {
+  TextTable t({"x", "long-header"});
+  t.add_row({"wider-than-header", "1"});
+  const std::string out = t.render();
+  // Every line must start its second column at the same offset.
+  std::istringstream is(out);
+  std::string line;
+  std::size_t col = std::string::npos;
+  while (std::getline(is, line)) {
+    if (line.empty() || line.find_first_not_of('-') == std::string::npos) continue;
+    const std::size_t two_spaces = line.find("  ");
+    ASSERT_NE(two_spaces, std::string::npos) << line;
+    const std::size_t second = line.find_first_not_of(' ', two_spaces);
+    if (col == std::string::npos) col = second;
+    else EXPECT_EQ(second, col) << line;
+  }
+}
+
+}  // namespace
+}  // namespace qrm

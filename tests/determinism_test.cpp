@@ -1,0 +1,63 @@
+// Determinism regression: the planner must be a pure function of its
+// inputs — same RNG seed and config => bit-identical PlanResult across
+// independent runs. Guards future parallelization of the planner.
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/planner.hpp"
+#include "loading/loader.hpp"
+#include "testutil.hpp"
+
+namespace qrm {
+namespace {
+
+void expect_identical(const PlanResult& a, const PlanResult& b) {
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.final_grid, b.final_grid);
+  EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+  EXPECT_EQ(a.stats.target_filled, b.stats.target_filled);
+  EXPECT_EQ(a.stats.defects_remaining, b.stats.defects_remaining);
+  EXPECT_EQ(a.stats.feasible, b.stats.feasible);
+  ASSERT_EQ(a.stats.passes.size(), b.stats.passes.size());
+  for (std::size_t i = 0; i < a.stats.passes.size(); ++i) {
+    EXPECT_EQ(a.stats.passes[i].axis, b.stats.passes[i].axis);
+    EXPECT_EQ(a.stats.passes[i].lines_with_motion, b.stats.passes[i].lines_with_motion);
+    EXPECT_EQ(a.stats.passes[i].unit_rounds, b.stats.passes[i].unit_rounds);
+    EXPECT_EQ(a.stats.passes[i].atoms_moved, b.stats.passes[i].atoms_moved);
+  }
+}
+
+TEST(Determinism, SameSeedSamePlanBalanced) {
+  for (const std::uint64_t seed : {1ull, 42ull, 0xDEADBEEFull}) {
+    const OccupancyGrid a = testutil::seeded_grid(30, 30, 0.55, seed);
+    const OccupancyGrid b = testutil::seeded_grid(30, 30, 0.55, seed);
+    ASSERT_EQ(a, b) << "loader must be deterministic per seed";
+    expect_identical(plan_qrm(a, 18), plan_qrm(b, 18));
+  }
+}
+
+TEST(Determinism, SameSeedSamePlanCompact) {
+  const OccupancyGrid a = testutil::seeded_grid(24, 24, 0.6, 7);
+  const OccupancyGrid b = testutil::seeded_grid(24, 24, 0.6, 7);
+  expect_identical(plan_qrm(a, 8, PlanMode::Compact), plan_qrm(b, 8, PlanMode::Compact));
+}
+
+TEST(Determinism, RepeatedPlansFromOneGridAreIdentical) {
+  // Re-planning the *same* grid object twice must not depend on hidden
+  // mutable state inside the planner.
+  const OccupancyGrid g = testutil::seeded_grid(20, 20, 0.5, 11);
+  const PlanResult first = plan_qrm(g, 12);
+  const PlanResult second = plan_qrm(g, 12);
+  expect_identical(first, second);
+  testutil::expect_plan_valid(g, first);
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  const OccupancyGrid a = testutil::seeded_grid(30, 30, 0.55, 1);
+  const OccupancyGrid b = testutil::seeded_grid(30, 30, 0.55, 2);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace qrm

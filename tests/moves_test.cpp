@@ -12,6 +12,7 @@
 #include "moves/physical.hpp"
 #include "moves/realizer.hpp"
 #include "moves/schedule.hpp"
+#include "testutil.hpp"
 #include "util/rng.hpp"
 
 namespace qrm {
@@ -327,11 +328,7 @@ TEST(Realizer, RandomisedAssignmentsExecuteCleanly) {
     }
     Schedule s;
     (void)realize_assignments(g, Axis::Rows, lines, s);
-    OccupancyGrid replay = initial;
-    const ExecutionReport report = run_schedule(replay, s, {.check_aod = true});
-    ASSERT_TRUE(report.ok) << report.error;
-    EXPECT_EQ(replay, g);
-    EXPECT_EQ(replay.atom_count(), initial.atom_count());
+    testutil::expect_replays_to(initial, s, g);
   }
 }
 

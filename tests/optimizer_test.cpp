@@ -5,8 +5,8 @@
 #include "util/assert.hpp"
 #include "core/planner.hpp"
 #include "loading/loader.hpp"
-#include "moves/executor.hpp"
 #include "moves/optimizer.hpp"
+#include "testutil.hpp"
 
 namespace qrm {
 namespace {
@@ -88,9 +88,7 @@ TEST(Coalesce, PlannerSchedulesStayEquivalentAcrossSeeds) {
     EXPECT_LE(result.moves_after, result.moves_before);
     EXPECT_TRUE(schedules_equivalent(initial, plan.schedule, result.schedule)) << seed;
     // The coalesced schedule must also replay cleanly under full checks.
-    OccupancyGrid replay = initial;
-    EXPECT_TRUE(run_schedule(replay, result.schedule, {.check_aod = true}).ok);
-    EXPECT_EQ(replay, plan.final_grid);
+    testutil::expect_replays_to(initial, result.schedule, plan.final_grid);
   }
 }
 

@@ -12,8 +12,8 @@
 #include "lattice/grid.hpp"
 #include "lattice/quadrant.hpp"
 #include "loading/loader.hpp"
-#include "moves/executor.hpp"
 #include "moves/realizer.hpp"
+#include "testutil.hpp"
 #include "util/bitrow.hpp"
 #include "util/rng.hpp"
 
@@ -206,10 +206,7 @@ TEST(RealizerProperty, RandomColumnAssignmentsReplayCleanly) {
     }
     Schedule s;
     (void)realize_assignments(g, Axis::Cols, lines, s);
-    OccupancyGrid replay = initial;
-    const ExecutionReport report = run_schedule(replay, s, {.check_aod = true});
-    ASSERT_TRUE(report.ok) << report.error;
-    EXPECT_EQ(replay, g);
+    testutil::expect_replays_to(initial, s, g);
     // All moves on the column axis are vertical.
     for (const auto& m : s.moves()) EXPECT_FALSE(is_horizontal(m.dir));
   }
