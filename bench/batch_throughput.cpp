@@ -1,0 +1,88 @@
+// Shot-level batch throughput: shots/sec of the full detect -> plan ->
+// execute pipeline as a function of worker count. This is the throughput
+// lever the paper's motivation points at — "the runtime for atom
+// rearrangement in scaled-up systems with mid-circuit measurements remains
+// a challenge" — applied across independent experiment shots rather than
+// within one. The table sweeps 1, 2, 4 and hardware_concurrency workers on
+// the 64x64 workload; scaling is near-linear on real cores because shots
+// share no mutable state (single-core machines will show ~1x, the pool
+// merely time-slices).
+
+#include <thread>
+
+#include "batch/batch_planner.hpp"
+#include "batch/thread_pool.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace qrm;
+using namespace qrm::bench;
+
+batch::BatchConfig batch_config(std::int32_t size, std::uint32_t shots, std::uint32_t workers) {
+  batch::BatchConfig config;
+  config.plan.target = centered_square(size, paper_target(size));
+  config.grid_height = size;
+  config.grid_width = size;
+  config.fill = kFill;
+  config.shots = shots;
+  config.workers = workers;
+  config.master_seed = 0xBA7C4;
+  config.loss.per_move_loss = 0.005;
+  config.max_rounds = 4;
+  return config;
+}
+
+std::vector<std::uint32_t> worker_sweep() {
+  std::vector<std::uint32_t> sweep = {1, 2, 4};
+  const std::uint32_t hw = batch::ThreadPool::resolve_workers(0);
+  if (hw > 4) sweep.push_back(hw);
+  return sweep;
+}
+
+void print_table() {
+  print_header("Batch planning throughput — shots/sec vs worker count",
+               "paper Sec. I motivation: rearrangement runtime at scale");
+  constexpr std::uint32_t kShots = 64;
+  TextTable table({"W", "shots", "workers", "wall", "shots/s", "speedup", "p50 plan", "fingerprint"});
+  for (const std::int32_t size : {32, 64}) {
+    double base_rate = 0.0;
+    for (const std::uint32_t workers : worker_sweep()) {
+      const batch::BatchReport report =
+          batch::BatchPlanner(batch_config(size, kShots, workers)).run();
+      const double rate = report.shots_per_second();
+      if (workers == 1) base_rate = rate;
+      table.add_row({std::to_string(size), std::to_string(kShots), std::to_string(workers),
+                     fmt_time_us(report.wall_us), fmt_double(rate, 1),
+                     fmt_double(base_rate > 0.0 ? rate / base_rate : 0.0, 2),
+                     fmt_time_us(report.latency(batch::BatchReport::Stage::Plan).p50),
+                     std::to_string(report.fingerprint() % 100000)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(fingerprint column: deterministic outcome hash mod 1e5 — must be\n"
+              " identical across worker counts for the same W; speedup > 2.5x from\n"
+              " 1 -> 4 workers is the acceptance bar on a >= 4-core machine)\n");
+}
+
+void BM_BatchShots(benchmark::State& state) {
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  const batch::BatchPlanner planner(batch_config(64, 16, workers));
+  for (auto _ : state) {
+    const batch::BatchReport report = planner.run();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["workers"] = workers;
+  state.counters["shots_per_sec"] =
+      benchmark::Counter(16.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BatchShots)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  run_benchmarks(argc, argv);
+  return 0;
+}

@@ -1,0 +1,287 @@
+#include "batch/batch_planner.hpp"
+
+#include <bit>
+#include <exception>
+#include <future>
+#include <memory>
+#include <utility>
+
+#include "baselines/algorithm.hpp"
+#include "batch/thread_pool.hpp"
+#include "core/planner.hpp"
+#include "loading/loader.hpp"
+#include "runtime/control_system.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+
+namespace qrm::batch {
+
+namespace {
+
+/// Stream index of the photon-noise RNG within one shot's seed domain
+/// (stream 0 is the loading draw itself; keep indices distinct).
+constexpr std::uint64_t kImagingStream = 1;
+
+/// Domain tag folded into the loss master seed before the loop splits it
+/// per shot. Without it, master_seed == loss.seed (a natural "one seed for
+/// everything" configuration) would make every shot's loss RNG replay the
+/// exact bit stream that generated its initial grid.
+constexpr std::uint64_t kLossDomain = 0x10550000;
+
+// --- FNV-1a over the deterministic outcome fields -------------------------
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void mix(std::uint64_t& hash, std::uint64_t value) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xFFULL;
+    hash *= kFnvPrime;
+  }
+}
+
+void mix_grid(std::uint64_t& hash, const OccupancyGrid& grid) noexcept {
+  mix(hash, static_cast<std::uint64_t>(grid.height()));
+  mix(hash, static_cast<std::uint64_t>(grid.width()));
+  for (std::int32_t r = 0; r < grid.height(); ++r) {
+    for (const BitRow::Word word : grid.row(r).words()) mix(hash, word);
+  }
+}
+
+void mix_schedule(std::uint64_t& hash, const Schedule& schedule) noexcept {
+  mix(hash, schedule.size());
+  for (const ParallelMove& move : schedule.moves()) {
+    mix(hash, static_cast<std::uint64_t>(move.dir));
+    mix(hash, static_cast<std::uint64_t>(move.steps));
+    for (const Coord& site : move.sites) {
+      mix(hash, static_cast<std::uint64_t>(site.row));
+      mix(hash, static_cast<std::uint64_t>(site.col));
+    }
+  }
+}
+
+}  // namespace
+
+double BatchReport::shots_per_second() const noexcept {
+  if (wall_us <= 0.0) return 0.0;
+  return static_cast<double>(shots.size()) / (wall_us * 1e-6);
+}
+
+double BatchReport::success_rate() const noexcept {
+  if (shots.empty()) return 0.0;
+  std::size_t successes = 0;
+  for (const ShotResult& shot : shots) successes += shot.success ? 1 : 0;
+  return static_cast<double>(successes) / static_cast<double>(shots.size());
+}
+
+double BatchReport::mean_fill_rate() const noexcept {
+  if (shots.empty()) return 0.0;
+  double sum = 0.0;
+  for (const ShotResult& shot : shots) sum += shot.fill_rate;
+  return sum / static_cast<double>(shots.size());
+}
+
+std::size_t BatchReport::total_commands() const noexcept {
+  std::size_t total = 0;
+  for (const ShotResult& shot : shots) total += shot.commands;
+  return total;
+}
+
+LatencySummary BatchReport::latency(Stage stage) const {
+  std::vector<double> column;
+  column.reserve(shots.size());
+  for (const ShotResult& shot : shots) {
+    switch (stage) {
+      case Stage::Detect: column.push_back(shot.detect_us); break;
+      case Stage::Plan: column.push_back(shot.plan_us); break;
+      case Stage::Execute: column.push_back(shot.execute_us); break;
+    }
+  }
+  LatencySummary summary;
+  if (column.empty()) return summary;
+  summary.mean = stats::mean(column);
+  summary.p50 = stats::percentile(column, 50.0);
+  summary.p90 = stats::percentile(column, 90.0);
+  summary.p99 = stats::percentile(column, 99.0);
+  summary.max = stats::max(column);
+  return summary;
+}
+
+std::uint64_t BatchReport::fingerprint() const noexcept {
+  std::uint64_t hash = kFnvOffset;
+  mix(hash, shots.size());
+  for (const ShotResult& shot : shots) {
+    mix(hash, shot.shot);
+    mix(hash, shot.seed);
+    mix(hash, shot.success ? 1 : 0);
+    mix(hash, shot.rounds);
+    mix(hash, shot.commands);
+    mix(hash, static_cast<std::uint64_t>(shot.atoms_lost));
+    mix(hash, static_cast<std::uint64_t>(shot.defects_remaining));
+    mix(hash, std::bit_cast<std::uint64_t>(shot.fill_rate));
+    mix(hash, static_cast<std::uint64_t>(shot.detection_errors.false_positives));
+    mix(hash, static_cast<std::uint64_t>(shot.detection_errors.false_negatives));
+    mix_grid(hash, shot.planned_input);
+    mix_grid(hash, shot.final_grid);
+    mix(hash, shot.schedules.size());
+    for (const Schedule& schedule : shot.schedules) mix_schedule(hash, schedule);
+  }
+  return hash;
+}
+
+BatchPlanner::BatchPlanner(BatchConfig config) : config_(std::move(config)) {
+  QRM_EXPECTS(config_.shots > 0);
+  QRM_EXPECTS(config_.fill >= 0.0 && config_.fill <= 1.0);
+  QRM_EXPECTS(config_.max_rounds > 0);
+  QRM_EXPECTS(config_.loss.per_move_loss >= 0.0 && config_.loss.per_move_loss <= 1.0);
+  QRM_EXPECTS(config_.loss.background_loss >= 0.0 && config_.loss.background_loss <= 1.0);
+  // Fail on unknown algorithm names at construction, not mid-batch.
+  (void)baselines::make_algorithm(config_.algorithm);
+}
+
+rt::LossModel BatchPlanner::effective_loss() const noexcept {
+  rt::LossModel loss = config_.loss;
+  loss.seed = derive_seed(config_.loss.seed, kLossDomain);
+  return loss;
+}
+
+ShotResult BatchPlanner::run_shot(std::uint32_t shot, const OccupancyGrid* captured) const {
+  ShotResult result;
+  result.shot = shot;
+  result.seed = derive_seed(config_.master_seed, shot);
+
+  OccupancyGrid truth =
+      captured != nullptr
+          ? *captured
+          : load_random(config_.grid_height, config_.grid_width, {config_.fill, result.seed});
+
+  // --- Detection stage ----------------------------------------------------
+  if (config_.imaged_detection) {
+    ImagingConfig imaging = config_.imaging;
+    imaging.seed = derive_seed(result.seed, kImagingStream);
+    Stopwatch watch;
+    const FluorescenceImage frame = render_image(truth, imaging);
+    result.planned_input =
+        detect_atoms(frame, truth.height(), truth.width(), config_.detection);
+    result.detect_us = watch.elapsed_microseconds();
+    result.detection_errors = compare_detection(truth, result.planned_input);
+  } else {
+    result.planned_input = truth;
+  }
+
+  // --- Plan + simulated lossy execution -----------------------------------
+  // The planner runs behind the algorithm interface so baselines batch the
+  // same way; "qrm" keeps the full QrmConfig (mode, merge, sen_limit).
+  rt::LoopConfig loop_config;
+  loop_config.plan = config_.plan;
+  loop_config.loss = effective_loss();
+  loop_config.max_rounds = config_.max_rounds;
+  loop_config.shot_index = shot;
+  loop_config.keep_schedules = config_.keep_schedules;
+
+  double plan_us = 0.0;
+  rt::PlanFn plan_round;
+  if (config_.algorithm == "qrm") {
+    plan_round = [planner = QrmPlanner(config_.plan), &plan_us](const OccupancyGrid& state) {
+      Stopwatch watch;
+      PlanResult plan = planner.plan(state);
+      plan_us += watch.elapsed_microseconds();
+      return plan;
+    };
+  } else {
+    plan_round = [algorithm = std::shared_ptr<baselines::RearrangementAlgorithm>(
+                      baselines::make_algorithm(config_.algorithm)),
+                  target = config_.plan.target, &plan_us](const OccupancyGrid& state) {
+      Stopwatch watch;
+      PlanResult plan = algorithm->plan(state, target);
+      plan_us += watch.elapsed_microseconds();
+      return plan;
+    };
+  }
+
+  Stopwatch loop_watch;
+  rt::LoopReport loop = rt::run_rearrangement_loop(result.planned_input, loop_config, plan_round);
+  const double loop_us = loop_watch.elapsed_microseconds();
+  result.plan_us = plan_us;
+  result.execute_us = loop_us > plan_us ? loop_us - plan_us : 0.0;
+
+  result.final_grid = std::move(loop.final_grid);
+  result.success = loop.success;
+  result.rounds = static_cast<std::uint32_t>(loop.rounds_used());
+  result.atoms_lost = loop.total_atoms_lost;
+  for (const rt::RoundReport& round : loop.rounds) result.commands += round.commands;
+  result.schedules = std::move(loop.schedules);
+
+  const Region& target = config_.plan.target;
+  const std::int64_t area = static_cast<std::int64_t>(target.area());
+  const std::int64_t filled = result.final_grid.atom_count(target);
+  result.defects_remaining = area - filled;
+  result.fill_rate = area > 0 ? static_cast<double>(filled) / static_cast<double>(area) : 0.0;
+  return result;
+}
+
+BatchReport BatchPlanner::run_impl(std::uint32_t shot_count,
+                                   const std::vector<OccupancyGrid>* captured) const {
+  QRM_EXPECTS(shot_count > 0);
+
+  BatchReport report;
+  report.shots.resize(shot_count);
+
+  Stopwatch wall;
+  {
+    ThreadPool pool(config_.workers);
+    report.workers = pool.worker_count();
+
+    std::vector<std::future<void>> done;
+    done.reserve(shot_count);
+    for (std::uint32_t shot = 0; shot < shot_count; ++shot) {
+      done.push_back(pool.submit([this, shot, captured, &report] {
+        // Each shot owns exactly slot [shot]; no cross-shot state is shared.
+        report.shots[shot] =
+            run_shot(shot, captured != nullptr ? &(*captured)[shot] : nullptr);
+      }));
+    }
+
+    // Wait for *every* shot before rethrowing, so no worker still writes
+    // into `report` after an early failure unwinds the stack.
+    std::exception_ptr first_error;
+    for (std::future<void>& future : done) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  report.wall_us = wall.elapsed_microseconds();
+  return report;
+}
+
+BatchReport BatchPlanner::run() const {
+  QRM_EXPECTS_MSG(config_.grid_height > 0 && config_.grid_width > 0,
+                  "generated batches need grid_height/grid_width");
+  return run_impl(config_.shots, nullptr);
+}
+
+BatchReport BatchPlanner::run(const std::vector<OccupancyGrid>& captured) const {
+  QRM_EXPECTS_MSG(!captured.empty(), "captured batch needs at least one grid");
+  return run_impl(static_cast<std::uint32_t>(captured.size()), &captured);
+}
+
+}  // namespace qrm::batch
+
+namespace qrm::rt {
+
+// Defined here, not in runtime/, so the runtime module stays below batch in
+// the layering (see the declaration's comment in control_system.hpp).
+batch::BatchReport ControlSystem::run_batch(const batch::BatchConfig& request) const {
+  batch::BatchConfig merged = request;
+  merged.plan = config_.accelerator.plan;
+  merged.imaging = config_.imaging;
+  merged.detection = config_.detection;
+  return batch::BatchPlanner(std::move(merged)).run();
+}
+
+}  // namespace qrm::rt

@@ -1,0 +1,73 @@
+#include "batch/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace qrm::batch {
+
+std::uint32_t ThreadPool::resolve_workers(std::uint32_t requested) noexcept {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::uint32_t workers) {
+  const std::uint32_t count = resolve_workers(workers);
+  workers_.reserve(count);
+  try {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread spawn failed (resource exhaustion): joinable threads must be
+    // joined before workers_ is destroyed or the runtime calls terminate.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    QRM_EXPECTS_MSG(!stopping_, "submit() on a ThreadPool that is shutting down");
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Any exception escaped the packaged_task wrapper only if the task was
+    // enqueued raw; packaged_task stores it in the future instead.
+    task();
+  }
+}
+
+}  // namespace qrm::batch

@@ -61,15 +61,22 @@ std::int64_t apply_background_loss(OccupancyGrid& state, Rng& rng, double p) {
 }  // namespace
 
 LoopReport run_rearrangement_loop(const OccupancyGrid& initial, const LoopConfig& config) {
+  const QrmPlanner planner(config.plan);
+  return run_rearrangement_loop(initial, config,
+                                [&](const OccupancyGrid& state) { return planner.plan(state); });
+}
+
+LoopReport run_rearrangement_loop(const OccupancyGrid& initial, const LoopConfig& config,
+                                  const PlanFn& plan_round) {
   QRM_EXPECTS(config.max_rounds > 0);
   QRM_EXPECTS(config.loss.per_move_loss >= 0.0 && config.loss.per_move_loss <= 1.0);
   QRM_EXPECTS(config.loss.background_loss >= 0.0 && config.loss.background_loss <= 1.0);
+  QRM_EXPECTS(plan_round != nullptr);
 
   LoopReport report;
   report.final_grid = initial;
   OccupancyGrid& state = report.final_grid;
-  Rng rng(config.loss.seed);
-  const QrmPlanner planner(config.plan);
+  Rng rng(config.loss.derive(config.shot_index).seed);
 
   for (std::uint32_t round = 0; round < config.max_rounds; ++round) {
     RoundReport rr;
@@ -83,12 +90,13 @@ LoopReport run_rearrangement_loop(const OccupancyGrid& initial, const LoopConfig
     }
 
     // Re-image (perfect detection) and plan against the current world.
-    const PlanResult plan = planner.plan(state);
+    const PlanResult plan = plan_round(state);
     rr.commands = plan.schedule.size();
 
     for (const ParallelMove& move : plan.schedule.moves()) {
       rr.atoms_lost += apply_lossy_move(state, move, rng, config.loss.per_move_loss);
     }
+    if (config.keep_schedules) report.schedules.push_back(plan.schedule);
     rr.atoms_lost += apply_background_loss(state, rng, config.loss.background_loss);
     rr.filled_after = state.region_full(config.plan.target);
     report.total_atoms_lost += rr.atoms_lost;

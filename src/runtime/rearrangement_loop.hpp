@@ -12,23 +12,43 @@
 /// analysis latency multiplies across rounds.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/config.hpp"
 #include "lattice/grid.hpp"
+#include "moves/schedule.hpp"
+#include "util/rng.hpp"
 
 namespace qrm::rt {
 
 struct LossModel {
   double per_move_loss = 0.005;      ///< probability an atom is lost per executed move
   double background_loss = 0.002;    ///< per-atom loss probability between rounds
-  std::uint64_t seed = 0xA70B1055;   ///< loss RNG seed
+  std::uint64_t seed = 0xA70B1055;   ///< master loss seed; shots draw derived streams
+
+  /// The loss model of one shot in a batch: same physics, an independent
+  /// RNG stream split from the master seed. A single shared seed would make
+  /// "independent" shots draw the *same* loss coin flips and correlate every
+  /// batch statistic; deriving per shot keeps them uncorrelated while the
+  /// whole batch stays reproducible from one master seed.
+  [[nodiscard]] LossModel derive(std::uint64_t shot_index) const noexcept {
+    LossModel shot = *this;
+    shot.seed = derive_seed(seed, shot_index);
+    return shot;
+  }
 };
 
 struct LoopConfig {
   QrmConfig plan;                 ///< target + planner settings
   LossModel loss;
   std::uint32_t max_rounds = 10;
+  /// Which derived loss stream this run draws (see LossModel::derive).
+  /// Batch shots pass their shot number; standalone runs keep 0.
+  std::uint32_t shot_index = 0;
+  /// Retain every round's schedule in LoopReport::schedules (off by default:
+  /// schedules are large and only replay-style tests need them).
+  bool keep_schedules = false;
 };
 
 struct RoundReport {
@@ -44,13 +64,25 @@ struct LoopReport {
   bool success = false;           ///< target defect-free at loop exit
   std::int64_t total_atoms_lost = 0;
   OccupancyGrid final_grid;
+  std::vector<Schedule> schedules;  ///< per-round, only when keep_schedules
 
   [[nodiscard]] std::size_t rounds_used() const noexcept { return rounds.size(); }
 };
+
+/// Produces the schedule for one round given the current (re-imaged) world.
+/// Must be a pure function of its argument — the loop may be replayed for
+/// verification and batch shots rely on plan determinism.
+using PlanFn = std::function<PlanResult(const OccupancyGrid&)>;
 
 /// Run the rearrange-verify loop starting from `initial` ground truth.
 /// Detection is assumed perfect (loss, not imaging, is the subject here).
 [[nodiscard]] LoopReport run_rearrangement_loop(const OccupancyGrid& initial,
                                                 const LoopConfig& config);
+
+/// Same loop with an injected per-round planner, so baselines (or any
+/// RearrangementAlgorithm) run behind the identical lossy-execution model.
+/// The two-argument overload forwards here with QrmPlanner(config.plan).
+[[nodiscard]] LoopReport run_rearrangement_loop(const OccupancyGrid& initial,
+                                                const LoopConfig& config, const PlanFn& plan);
 
 }  // namespace qrm::rt

@@ -9,10 +9,12 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "batch/batch_planner.hpp"
 #include "lattice/grid.hpp"
 #include "lattice/quadrant.hpp"
 #include "loading/loader.hpp"
 #include "moves/realizer.hpp"
+#include "runtime/rearrangement_loop.hpp"
 #include "testutil.hpp"
 #include "util/bitrow.hpp"
 #include "util/rng.hpp"
@@ -209,6 +211,91 @@ TEST(RealizerProperty, RandomColumnAssignmentsReplayCleanly) {
     testutil::expect_replays_to(initial, s, g);
     // All moves on the column axis are vertical.
     for (const auto& m : s.moves()) EXPECT_FALSE(is_horizontal(m.dir));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch planning, randomized
+// ---------------------------------------------------------------------------
+
+// 50 random seeds — 10 random master seeds x 5 shots each: every pooled
+// batch must agree shot-for-shot with the serial rearrangement loop run on
+// the identical derived streams — replayed final grid, loss accounting —
+// and each batch's aggregate fill-rate statistics must equal the serially
+// computed ones exactly (same doubles, not approximately).
+TEST(BatchProperty, FiftyRandomSeedsMatchTheSerialLoopExactly) {
+  constexpr std::uint32_t kMasters = 10;
+  constexpr std::uint32_t kShots = 5;
+  Rng rng(0xBA7C4);
+  for (std::uint32_t master = 0; master < kMasters; ++master) {
+    batch::BatchConfig config;
+    config.plan.target = centered_square(16, 10);
+    config.grid_height = 16;
+    config.grid_width = 16;
+    config.fill = 0.65;
+    config.shots = kShots;
+    config.workers = 4;
+    config.master_seed = rng.next_u64();
+    config.loss.per_move_loss = 0.02;
+    config.loss.background_loss = 0.005;
+    config.loss.seed = rng.next_u64();
+    config.max_rounds = 6;
+    config.keep_schedules = true;
+
+    const batch::BatchPlanner planner(config);
+    const batch::BatchReport pooled = planner.run();
+    ASSERT_EQ(pooled.shots.size(), kShots);
+
+    double serial_fill_sum = 0.0;
+    std::size_t serial_successes = 0;
+    for (std::uint32_t shot = 0; shot < kShots; ++shot) {
+      const std::uint64_t seed = derive_seed(config.master_seed, shot);
+      const OccupancyGrid initial = load_random(16, 16, {config.fill, seed});
+      rt::LoopConfig loop_config;
+      loop_config.plan = config.plan;
+      loop_config.loss = planner.effective_loss();
+      loop_config.max_rounds = config.max_rounds;
+      loop_config.shot_index = shot;
+      const rt::LoopReport serial = rt::run_rearrangement_loop(initial, loop_config);
+
+      const batch::ShotResult& batched = pooled.shots[shot];
+      EXPECT_EQ(batched.planned_input, initial) << "master " << master << " shot " << shot;
+      EXPECT_EQ(batched.final_grid, serial.final_grid) << "master " << master << " shot " << shot;
+      EXPECT_EQ(batched.atoms_lost, serial.total_atoms_lost) << "shot " << shot;
+      EXPECT_EQ(batched.success, serial.success) << "shot " << shot;
+      EXPECT_EQ(batched.rounds, serial.rounds_used()) << "shot " << shot;
+
+      const std::int64_t filled = serial.final_grid.atom_count(config.plan.target);
+      serial_fill_sum += static_cast<double>(filled) /
+                         static_cast<double>(config.plan.target.area());
+      serial_successes += serial.success ? 1 : 0;
+    }
+    EXPECT_DOUBLE_EQ(pooled.mean_fill_rate(), serial_fill_sum / kShots);
+    EXPECT_DOUBLE_EQ(pooled.success_rate(),
+                     static_cast<double>(serial_successes) / kShots);
+  }
+}
+
+// Lossless single-round shots: every retained schedule must replay from the
+// shot's planned input exactly onto its reported final grid (the schedule
+// *is* the rearrangement when no atom is lost).
+TEST(BatchProperty, LosslessShotsReplayOntoTheirFinalGrids) {
+  batch::BatchConfig config;
+  config.plan.target = centered_square(14, 8);
+  config.grid_height = 14;
+  config.grid_width = 14;
+  config.fill = 0.6;
+  config.shots = 16;
+  config.workers = 4;
+  config.loss = {.per_move_loss = 0.0, .background_loss = 0.0};
+  config.max_rounds = 1;
+  config.keep_schedules = true;
+  config.master_seed = 0xF1F7;
+
+  const batch::BatchReport report = batch::BatchPlanner(config).run();
+  for (const batch::ShotResult& shot : report.shots) {
+    ASSERT_EQ(shot.schedules.size(), 1u) << "shot " << shot.shot;
+    testutil::expect_replays_to(shot.planned_input, shot.schedules.front(), shot.final_grid);
   }
 }
 
