@@ -1,0 +1,241 @@
+/// \file planner_throughput.cpp
+/// The perf trajectory baseline for the word-parallel planning core.
+///
+/// Two layers of measurement, both written to a machine-readable JSON file
+/// (BENCH_planner.json by default) so later PRs have a trajectory to beat:
+///
+///  1. Primitive level: ns/op of each word-parallel BitRow/OccupancyGrid
+///     kernel vs its naive per-bit reference (util/bitref.hpp,
+///     lattice/gridref.hpp) at word-boundary widths, with the speedup factor.
+///  2. End-to-end: plan_qrm() plans/sec across grid sizes (64^2 .. 1024^2)
+///     on the paper's Bernoulli-loading workload.
+///
+///   $ ./bench/planner_throughput [--smoke|--exhaustive] [--out PATH]
+///
+/// --smoke trims sizes and repeats for CI (a few seconds). The default
+/// (full) mode plans up to 256^2 and finishes in well under a minute;
+/// --exhaustive adds the 512^2 and 1024^2 end-to-end points, which take
+/// minutes each because the planner's higher layers are still super-linear
+/// (that is the trajectory later PRs are meant to bend). --out overrides the
+/// JSON destination.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/planner.hpp"
+#include "lattice/gridref.hpp"
+#include "util/bitref.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace qrm;
+
+struct PrimitiveResult {
+  std::string name;
+  std::uint32_t width = 0;  ///< row width in bits (= grid side for 2D ops)
+  double fast_ns = 0.0;
+  double naive_ns = 0.0;
+  [[nodiscard]] double speedup() const { return naive_ns > 0.0 ? naive_ns / fast_ns : 0.0; }
+};
+
+struct PlanPoint {
+  std::int32_t size = 0;
+  std::int32_t target = 0;
+  double plan_us = 0.0;  ///< median over seeds of best-of-repeats
+  [[nodiscard]] double plans_per_sec() const { return plan_us > 0.0 ? 1e6 / plan_us : 0.0; }
+};
+
+/// Time `fn` as ns/op: repeat best-of-`repeats`, each sample averaging
+/// `iters` back-to-back calls to amortise clock granularity.
+template <typename Fn>
+double time_ns(std::size_t repeats, std::size_t iters, Fn&& fn) {
+  const double us = best_of_microseconds(repeats, [&] {
+    for (std::size_t i = 0; i < iters; ++i) benchmark::DoNotOptimize(fn());
+  });
+  return us * 1e3 / static_cast<double>(iters);
+}
+
+[[nodiscard]] BitRow random_row(std::uint32_t width, std::uint64_t seed) {
+  Rng rng(seed);
+  BitRow row(width);
+  for (std::uint32_t i = 0; i < width; ++i)
+    if (rng.bernoulli(0.5)) row.set(i);
+  return row;
+}
+
+std::vector<PrimitiveResult> bench_primitives(bool smoke) {
+  const std::size_t repeats = smoke ? 5 : 25;
+  std::vector<PrimitiveResult> out;
+  for (const std::uint32_t width : std::vector<std::uint32_t>{64, 256, 1024}) {
+    const BitRow row = random_row(width, width);
+    const OccupancyGrid grid =
+        qrm::bench::workload(static_cast<std::int32_t>(width), /*seed=*/width);
+    const Region centre = centered_square(static_cast<std::int32_t>(width),
+                                          static_cast<std::int32_t>(width) / 2);
+    const OccupancyGrid content = grid.subgrid(centre);
+    // Scale per-call iterations so each primitive's sample stays ~O(100us).
+    const std::size_t iters = (smoke ? 64u : 256u) * 1024u / width;
+
+    out.push_back({"reversed", width, time_ns(repeats, iters, [&] { return row.reversed(); }),
+                   time_ns(repeats, iters, [&] { return ref::reversed(row); })});
+    out.push_back({"count_range", width,
+                   time_ns(repeats, iters, [&] { return row.count_range(1, width - 1); }),
+                   time_ns(repeats, iters, [&] { return ref::count_range(row, 1, width - 1); })});
+    out.push_back({"compacted", width, time_ns(repeats, iters, [&] { return row.compacted(); }),
+                   time_ns(repeats, iters, [&] { return ref::compacted(row); })});
+    out.push_back({"hole_positions", width,
+                   time_ns(repeats, iters, [&] { return row.hole_positions(); }),
+                   time_ns(repeats, iters, [&] { return ref::hole_positions(row); })});
+    out.push_back({"compaction_displacements", width,
+                   time_ns(repeats, iters, [&] { return row.compaction_displacements(); }),
+                   time_ns(repeats, iters, [&] { return ref::compaction_displacements(row); })});
+
+    // 2D kernels touch width^2 bits; divide the per-sample iterations again.
+    const std::size_t iters2d = std::max<std::size_t>(1, iters * 8 / width);
+    out.push_back({"transpose", width,
+                   time_ns(repeats, iters2d, [&] { return grid.flipped(Flip::Transpose); }),
+                   time_ns(repeats, iters2d, [&] { return ref::transposed(grid); })});
+    out.push_back({"subgrid", width, time_ns(repeats, iters2d, [&] { return grid.subgrid(centre); }),
+                   time_ns(repeats, iters2d, [&] { return ref::subgrid(grid, centre); })});
+    // Mutate persistent scratch grids so neither side's timing is dominated
+    // by a per-iteration grid copy (set_subgrid is idempotent for fixed
+    // inputs, so reuse is valid).
+    OccupancyGrid scratch_fast = grid;
+    OccupancyGrid scratch_naive = grid;
+    out.push_back({"set_subgrid", width,
+                   time_ns(repeats, iters2d,
+                           [&] {
+                             scratch_fast.set_subgrid(centre, content);
+                             return scratch_fast.width();
+                           }),
+                   time_ns(repeats, iters2d, [&] {
+                     for (std::int32_t r = 0; r < centre.rows; ++r)
+                       for (std::int32_t c = 0; c < centre.cols; ++c)
+                         scratch_naive.set({centre.row0 + r, centre.col0 + c},
+                                           content.occupied({r, c}));
+                     return scratch_naive.width();
+                   })});
+  }
+  return out;
+}
+
+std::vector<PlanPoint> bench_plan(bool smoke, bool exhaustive) {
+  const std::vector<std::int32_t> sizes = smoke        ? std::vector<std::int32_t>{64, 128}
+                                          : exhaustive ? std::vector<std::int32_t>{64, 128, 256, 512, 1024}
+                                                       : std::vector<std::int32_t>{64, 128, 256};
+  std::vector<PlanPoint> out;
+  for (const std::int32_t size : sizes) {
+    // Keep per-size runtime bounded: a 512^2 plan already takes ~2 minutes,
+    // so the big end-to-end points get one seed and one repeat.
+    const int seeds = size >= 512 ? 1 : (smoke ? 2 : 3);
+    const std::size_t repeats = size >= 256 ? 1 : (smoke ? 2 : 3);
+    PlanPoint point;
+    point.size = size;
+    point.target = qrm::bench::paper_target(size);
+    std::vector<double> times;
+    for (int s = 1; s <= seeds; ++s) {
+      const OccupancyGrid grid = qrm::bench::workload(size, static_cast<std::uint64_t>(s));
+      times.push_back(best_of_microseconds(
+          repeats, [&] { benchmark::DoNotOptimize(plan_qrm(grid, point.target)); }));
+    }
+    point.plan_us = stats::SortedSample(times).median();
+    out.push_back(point);
+    std::printf("  plan_qrm %4dx%-4d -> %10.1f us/plan (%8.1f plans/sec)\n", size, size,
+                point.plan_us, point.plans_per_sec());
+  }
+  return out;
+}
+
+void write_json(const std::string& path, const std::string& mode,
+                const std::vector<PrimitiveResult>& prims, const std::vector<PlanPoint>& plans) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  os << "{\n";
+  os << "  \"bench\": \"planner_throughput\",\n";
+  os << "  \"mode\": \"" << mode << "\",\n";
+  os << "  \"primitives\": [\n";
+  for (std::size_t i = 0; i < prims.size(); ++i) {
+    const auto& p = prims[i];
+    os << "    {\"name\": \"" << p.name << "\", \"width\": " << p.width
+       << ", \"fast_ns\": " << p.fast_ns << ", \"naive_ns\": " << p.naive_ns
+       << ", \"speedup\": " << p.speedup() << (i + 1 < prims.size() ? "},\n" : "}\n");
+  }
+  os << "  ],\n";
+  os << "  \"plan\": [\n";
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const auto& p = plans[i];
+    os << "    {\"size\": " << p.size << ", \"target\": " << p.target
+       << ", \"plan_us\": " << p.plan_us << ", \"plans_per_sec\": " << p.plans_per_sec()
+       << (i + 1 < plans.size() ? "},\n" : "}\n");
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool exhaustive = false;
+  std::string out_path = "BENCH_planner.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--exhaustive") == 0) {
+      exhaustive = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke|--exhaustive] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  qrm::bench::print_header("Planner throughput: word-parallel core vs naive reference",
+                           "perf trajectory baseline (ROADMAP north star)");
+
+  std::printf("\nPrimitive kernels (ns/op, best-of-%s):\n", smoke ? "smoke" : "full");
+  const auto prims = bench_primitives(smoke);
+  TextTable table({"primitive", "width", "word-parallel", "naive", "speedup"});
+  for (const auto& p : prims) {
+    table.add_row({p.name, std::to_string(p.width), fmt_time_us(p.fast_ns / 1e3),
+                   fmt_time_us(p.naive_ns / 1e3), fmt_speedup(p.speedup())});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("End-to-end plan_qrm (Bernoulli %.2f load, %s sizes):\n", qrm::bench::kFill,
+              smoke ? "smoke" : (exhaustive ? "exhaustive" : "full"));
+  const auto plans = bench_plan(smoke, exhaustive);
+
+  write_json(out_path, smoke ? "smoke" : (exhaustive ? "exhaustive" : "full"), prims, plans);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  // Guard the acceptance bar: the rewritten primitives must hold >= 4x over
+  // the naive reference at 1024-bit width. Failing loudly here keeps the
+  // perf trajectory honest (a silent regression would still upload JSON).
+  bool ok = true;
+  for (const auto& p : prims) {
+    if (p.width == 1024 &&
+        (p.name == "reversed" || p.name == "transpose" || p.name == "subgrid" ||
+         p.name == "count_range") &&
+        p.speedup() < 4.0) {
+      std::fprintf(stderr, "FAIL: %s @%u speedup %.1fx < 4x\n", p.name.c_str(), p.width,
+                   p.speedup());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -101,10 +101,11 @@ LatencySummary BatchReport::latency(Stage stage) const {
   LatencySummary summary;
   if (column.empty()) return summary;
   summary.mean = stats::mean(column);
-  summary.p50 = stats::percentile(column, 50.0);
-  summary.p90 = stats::percentile(column, 90.0);
-  summary.p99 = stats::percentile(column, 99.0);
-  summary.max = stats::max(column);
+  const stats::SortedSample sample(column);
+  summary.p50 = sample.percentile(50.0);
+  summary.p90 = sample.percentile(90.0);
+  summary.p99 = sample.percentile(99.0);
+  summary.max = sample.max();
   return summary;
 }
 

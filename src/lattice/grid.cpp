@@ -1,10 +1,38 @@
 #include "lattice/grid.hpp"
 
+#include <array>
 #include <sstream>
 
 #include "util/assert.hpp"
 
 namespace qrm {
+
+namespace {
+
+using Word = BitRow::Word;
+constexpr std::uint32_t kWordBits = BitRow::kWordBits;
+
+/// In-place transpose of a 64x64 bit block stored LSB-first (bit c of a[r] is
+/// element (r, c)). Recursive block-swap (Hacker's Delight 7-3) adapted to
+/// the LSB-first convention: at scale j, element (r, c) with r&j == 0 and
+/// c&j != 0 swaps with element (r|j, c^j).
+void transpose64(std::array<Word, 64>& a) noexcept {
+  static constexpr std::array<Word, 6> kMask = {
+      0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+      0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL,
+  };
+  for (std::uint32_t level = 6; level-- > 0;) {
+    const std::uint32_t j = 1U << level;
+    const Word m = kMask[level];
+    for (std::uint32_t k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const Word t = (a[k] ^ (a[k | j] << j)) & m;
+      a[k] ^= t;
+      a[k | j] ^= t >> j;
+    }
+  }
+}
+
+}  // namespace
 
 OccupancyGrid::OccupancyGrid(std::int32_t height, std::int32_t width)
     : height_(height), width_(width) {
@@ -86,16 +114,33 @@ void OccupancyGrid::set_row(std::int32_t r, BitRow bits) {
 BitRow OccupancyGrid::column(std::int32_t c) const {
   QRM_EXPECTS(c >= 0 && c < width_);
   BitRow out(static_cast<std::uint32_t>(height_));
-  for (std::int32_t r = 0; r < height_; ++r)
-    if (occupied({r, c})) out.set(static_cast<std::uint32_t>(r));
+  // One word read per source row, accumulating 64 column bits per output
+  // word — no per-bit bounds-checked accessors in the loop.
+  const std::uint32_t wi = static_cast<std::uint32_t>(c) / kWordBits;
+  const std::uint32_t shift = static_cast<std::uint32_t>(c) % kWordBits;
+  const auto h = static_cast<std::uint32_t>(height_);
+  for (std::uint32_t r0 = 0; r0 < h; r0 += kWordBits) {
+    const std::uint32_t rows = std::min(kWordBits, h - r0);
+    Word acc = 0;
+    for (std::uint32_t k = 0; k < rows; ++k)
+      acc |= ((rows_[r0 + k].words()[wi] >> shift) & Word{1}) << k;
+    out.set_word(r0 / kWordBits, acc);
+  }
   return out;
 }
 
 void OccupancyGrid::set_column(std::int32_t c, const BitRow& bits) {
   QRM_EXPECTS(c >= 0 && c < width_);
   QRM_EXPECTS_MSG(bits.width() == static_cast<std::uint32_t>(height_), "column height mismatch");
-  for (std::int32_t r = 0; r < height_; ++r)
-    set({r, c}, bits.test(static_cast<std::uint32_t>(r)));
+  const std::uint32_t wi = static_cast<std::uint32_t>(c) / kWordBits;
+  const std::uint32_t shift = static_cast<std::uint32_t>(c) % kWordBits;
+  const Word mask = Word{1} << shift;
+  const auto h = static_cast<std::uint32_t>(height_);
+  for (std::uint32_t r = 0; r < h; ++r) {
+    const Word bit = (bits.words()[r / kWordBits] >> (r % kWordBits)) & Word{1};
+    BitRow& row = rows_[r];
+    row.set_word(wi, (row.words()[wi] & ~mask) | (bit << shift));
+  }
 }
 
 Coord OccupancyGrid::map_coord(Flip flip, Coord c) const {
@@ -126,10 +171,28 @@ OccupancyGrid OccupancyGrid::flipped(Flip flip) const {
       for (std::int32_t r = 0; r < height_; ++r)
         out.rows_[static_cast<std::size_t>(height_ - 1 - r)] = rows_[static_cast<std::size_t>(r)];
       break;
-    case Flip::Transpose:
-      for (std::int32_t c = 0; c < width_; ++c)
-        out.rows_[static_cast<std::size_t>(c)] = column(c);
+    case Flip::Transpose: {
+      // 64x64 block-transpose: gather one word per input row, transpose the
+      // block in registers, scatter one word per output row. Partial edge
+      // blocks need no special casing — canonical tails keep the out-of-range
+      // lanes zero, and set_word re-masks the destination tail.
+      const auto h = static_cast<std::uint32_t>(height_);
+      const auto w = static_cast<std::uint32_t>(width_);
+      std::array<Word, 64> block;
+      for (std::uint32_t r0 = 0; r0 < h; r0 += kWordBits) {
+        const std::uint32_t rows = std::min(kWordBits, h - r0);
+        for (std::uint32_t c0 = 0; c0 < w; c0 += kWordBits) {
+          const std::uint32_t cols = std::min(kWordBits, w - c0);
+          block.fill(0);
+          for (std::uint32_t k = 0; k < rows; ++k)
+            block[k] = rows_[r0 + k].words()[c0 / kWordBits];
+          transpose64(block);
+          for (std::uint32_t k = 0; k < cols; ++k)
+            out.rows_[c0 + k].set_word(r0 / kWordBits, block[k]);
+        }
+      }
       break;
+    }
     case Flip::Rotate180:
       for (std::int32_t r = 0; r < height_; ++r)
         out.rows_[static_cast<std::size_t>(height_ - 1 - r)] =
@@ -143,8 +206,8 @@ OccupancyGrid OccupancyGrid::subgrid(const Region& region) const {
   QRM_EXPECTS(region.within(height_, width_));
   OccupancyGrid out(region.rows, region.cols);
   for (std::int32_t r = 0; r < region.rows; ++r)
-    for (std::int32_t c = 0; c < region.cols; ++c)
-      if (occupied({region.row0 + r, region.col0 + c})) out.set({r, c});
+    out.rows_[static_cast<std::size_t>(r)] = rows_[static_cast<std::size_t>(region.row0 + r)].slice(
+        static_cast<std::uint32_t>(region.col0), static_cast<std::uint32_t>(region.cols));
   return out;
 }
 
@@ -152,8 +215,8 @@ void OccupancyGrid::set_subgrid(const Region& region, const OccupancyGrid& conte
   QRM_EXPECTS(region.within(height_, width_));
   QRM_EXPECTS(content.height() == region.rows && content.width() == region.cols);
   for (std::int32_t r = 0; r < region.rows; ++r)
-    for (std::int32_t c = 0; c < region.cols; ++c)
-      set({region.row0 + r, region.col0 + c}, content.occupied({r, c}));
+    rows_[static_cast<std::size_t>(region.row0 + r)].paste(static_cast<std::uint32_t>(region.col0),
+                                                           content.rows_[static_cast<std::size_t>(r)]);
 }
 
 std::string OccupancyGrid::to_art() const {

@@ -1,6 +1,8 @@
 #include "moves/aod.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <map>
 #include <set>
 
 #include "moves/executor.hpp"
@@ -30,18 +32,33 @@ std::vector<Coord> front_first(std::span<const Coord> sites, Direction dir) {
 }  // namespace
 
 std::optional<std::string> aod_violation(const OccupancyGrid& grid, const ParallelMove& move) {
-  std::set<std::int32_t> rows;
-  std::set<std::int32_t> cols;
-  std::set<Coord> members(move.sites.begin(), move.sites.end());
+  if (move.sites.empty()) return std::nullopt;
+  // Word-parallel cross-product check: a violation in row r is any bit of
+  //   occupied(r) AND cols-mask AND NOT members(r),
+  // where the cols-mask has one bit per selected column and members(r) marks
+  // the move's own sites in that row. One pass over the touched rows'
+  // words replaces the O(|rows|*|cols|) per-cell std::set scan. The map keeps
+  // rows ascending so the reported first violation (lowest row, then lowest
+  // column) matches the historical per-cell scan order.
+  BitRow colmask(static_cast<std::uint32_t>(grid.width()));
+  for (const Coord& s : move.sites)
+    if (s.col >= 0 && s.col < grid.width()) colmask.set(static_cast<std::uint32_t>(s.col));
+  std::map<std::int32_t, BitRow> members;
   for (const Coord& s : move.sites) {
-    rows.insert(s.row);
-    cols.insert(s.col);
+    if (s.row < 0 || s.row >= grid.height()) continue;
+    const auto it = members.try_emplace(s.row, static_cast<std::uint32_t>(grid.width())).first;
+    if (s.col >= 0 && s.col < grid.width()) it->second.set(static_cast<std::uint32_t>(s.col));
   }
-  for (const std::int32_t r : rows) {
-    for (const std::int32_t c : cols) {
-      const Coord cross{r, c};
-      if (grid.in_bounds(cross) && grid.occupied(cross) && !members.contains(cross)) {
-        return "AOD cross trap at " + qrm::to_string(cross) +
+  for (const auto& [r, member_row] : members) {
+    const auto& occ = grid.row(r).words();
+    const auto& sel = colmask.words();
+    const auto& own = member_row.words();
+    for (std::size_t wi = 0; wi < occ.size(); ++wi) {
+      const BitRow::Word bystanders = occ[wi] & sel[wi] & ~own[wi];
+      if (bystanders != 0) {
+        const auto c = static_cast<std::int32_t>(wi * BitRow::kWordBits +
+                                                 static_cast<std::size_t>(std::countr_zero(bystanders)));
+        return "AOD cross trap at " + qrm::to_string(Coord{r, c}) +
                " holds a bystander atom not part of the move";
       }
     }
@@ -60,6 +77,15 @@ std::vector<ParallelMove> legalize(const OccupancyGrid& grid, std::span<const Co
   for (const Coord& s : remaining) {
     QRM_EXPECTS_MSG(scratch.in_bounds(s) && scratch.occupied(s),
                     "legalize: site must hold an atom");
+  }
+  // A duplicated site would pass the occupancy check above (both copies see
+  // the same atom) and then be emitted twice inside one ParallelMove —
+  // physically one tweezer trying to pick the same atom up twice. front_first
+  // sorts by a total order on (row, col), so duplicates are adjacent.
+  for (std::size_t i = 1; i < remaining.size(); ++i) {
+    QRM_EXPECTS_MSG(remaining[i] != remaining[i - 1],
+                    "legalize: duplicate site " + qrm::to_string(remaining[i]) +
+                        " in the intended move set");
   }
 
   // Fast path: when the whole intended set is already legal as one lockstep

@@ -1,10 +1,44 @@
 #include "util/bitrow.hpp"
 
+#include <array>
 #include <bit>
 
 #include "util/assert.hpp"
 
 namespace qrm {
+
+namespace {
+
+using Word = BitRow::Word;
+
+/// Bit-reversal of one byte, computed once at compile time.
+constexpr std::array<std::uint8_t, 256> kByteReverse = [] {
+  std::array<std::uint8_t, 256> table{};
+  for (std::uint32_t v = 0; v < 256; ++v) {
+    std::uint8_t r = 0;
+    for (std::uint32_t b = 0; b < 8; ++b)
+      if ((v >> b) & 1U) r = static_cast<std::uint8_t>(r | (1U << (7 - b)));
+    table[v] = r;
+  }
+  return table;
+}();
+
+/// Reverse all 64 bits of a word: per-byte table lookup + byte swap.
+[[nodiscard]] constexpr Word reverse_word(Word w) noexcept {
+  Word out = 0;
+  for (std::uint32_t byte = 0; byte < 8; ++byte) {
+    out = (out << 8) | kByteReverse[w & 0xFFU];
+    w >>= 8;
+  }
+  return out;
+}
+
+/// Mask with bits [0, n) set; n in [0, 64].
+[[nodiscard]] constexpr Word low_mask(std::uint32_t n) noexcept {
+  return n >= BitRow::kWordBits ? ~Word{0} : (Word{1} << n) - 1;
+}
+
+}  // namespace
 
 BitRow::BitRow(std::uint32_t width) : width_(width), words_(word_count(), 0) {}
 
@@ -51,16 +85,18 @@ std::uint32_t BitRow::count() const noexcept {
 
 std::uint32_t BitRow::count_range(std::uint32_t lo, std::uint32_t hi) const {
   QRM_EXPECTS(lo <= hi && hi <= width_);
-  std::uint32_t n = 0;
-  for (std::uint32_t i = lo; i < hi; ++i) {
-    // Word-at-a-time: skip to aligned fast path when possible.
-    if (i % kWordBits == 0 && i + kWordBits <= hi) {
-      n += static_cast<std::uint32_t>(std::popcount(words_[i / kWordBits]));
-      i += kWordBits - 1;
-    } else if (test(i)) {
-      ++n;
-    }
-  }
+  if (lo == hi) return 0;
+  // Mask the partial first and last words; every word in between contributes
+  // its full popcount. No per-bit pre/post-amble.
+  const std::uint32_t w0 = lo / kWordBits;
+  const std::uint32_t w1 = (hi - 1) / kWordBits;
+  const Word first = ~low_mask(lo % kWordBits);
+  const Word last = low_mask((hi - 1) % kWordBits + 1);
+  if (w0 == w1) return static_cast<std::uint32_t>(std::popcount(words_[w0] & first & last));
+  std::uint32_t n = static_cast<std::uint32_t>(std::popcount(words_[w0] & first));
+  for (std::uint32_t wi = w0 + 1; wi < w1; ++wi)
+    n += static_cast<std::uint32_t>(std::popcount(words_[wi]));
+  n += static_cast<std::uint32_t>(std::popcount(words_[w1] & last));
   return n;
 }
 
@@ -144,8 +180,16 @@ std::vector<std::uint32_t> BitRow::set_positions() const {
 std::vector<std::uint32_t> BitRow::hole_positions() const {
   std::vector<std::uint32_t> out;
   out.reserve(width_ - count());
-  for (std::uint32_t i = 0; i < width_; ++i)
-    if (!test(i)) out.push_back(i);
+  // Walk set bits of the inverted words; the tail of the last word is masked
+  // so positions >= width never appear.
+  for (std::uint32_t wi = 0; wi < words_.size(); ++wi) {
+    Word inv = ~words_[wi];
+    if (wi + 1 == words_.size() && width_ % kWordBits != 0) inv &= low_mask(width_ % kWordBits);
+    while (inv != 0) {
+      out.push_back(wi * kWordBits + static_cast<std::uint32_t>(std::countr_zero(inv)));
+      inv &= inv - 1;
+    }
+  }
   return out;
 }
 
@@ -162,30 +206,91 @@ void BitRow::for_each_set(const std::function<void(std::uint32_t)>& fn) const {
 
 BitRow BitRow::compacted() const {
   BitRow out(width_);
+  // A prefix of count() ones: full words of all-ones then one partial mask.
   const std::uint32_t n = count();
-  for (std::uint32_t i = 0; i < n; ++i) out.set(i);
+  const std::uint32_t full = n / kWordBits;
+  for (std::uint32_t wi = 0; wi < full; ++wi) out.words_[wi] = ~Word{0};
+  if (n % kWordBits != 0) out.words_[full] = low_mask(n % kWordBits);
   return out;
 }
 
 std::vector<std::uint32_t> BitRow::compaction_displacements() const {
   std::vector<std::uint32_t> out;
   out.reserve(count());
-  std::uint32_t holes = 0;
-  for (std::uint32_t i = 0; i < width_; ++i) {
-    if (test(i)) {
-      out.push_back(holes);
-    } else {
-      ++holes;
+  // Displacement of the atom at position p is the number of holes below p,
+  // i.e. p - rank(p). Maintain the rank as a running popcount prefix sum:
+  // `ones` counts set bits in earlier words, `k` those already visited in
+  // the current word, so each set bit costs O(1) instead of an O(width) scan.
+  std::uint32_t ones = 0;
+  for (std::uint32_t wi = 0; wi < words_.size(); ++wi) {
+    Word w = words_[wi];
+    std::uint32_t k = 0;
+    while (w != 0) {
+      const auto bit = static_cast<std::uint32_t>(std::countr_zero(w));
+      out.push_back(wi * kWordBits + bit - ones - k);
+      ++k;
+      w &= w - 1;
     }
+    ones += k;
   }
   return out;
 }
 
 BitRow BitRow::reversed() const {
   BitRow out(width_);
-  for (std::uint32_t i = 0; i < width_; ++i)
-    if (test(i)) out.set(width_ - 1 - i);
+  if (width_ == 0) return out;
+  // Reverse each word (byte-reversal table + byte swap) and the word order;
+  // that reverses the row as if it were word_count()*64 bits wide, leaving
+  // the result too high by the tail slack. Shift the slack back out — the
+  // incoming tail is canonical (zero), so no stray bits survive.
+  const std::size_t nw = words_.size();
+  for (std::size_t i = 0; i < nw; ++i) out.words_[nw - 1 - i] = reverse_word(words_[i]);
+  const std::uint32_t slack = static_cast<std::uint32_t>(nw) * kWordBits - width_;
+  if (slack != 0) {
+    for (std::size_t i = 0; i < nw; ++i) {
+      const Word hi = (i + 1) < nw ? out.words_[i + 1] : 0;
+      out.words_[i] = (out.words_[i] >> slack) | (hi << (kWordBits - slack));
+    }
+  }
   return out;
+}
+
+BitRow BitRow::slice(std::uint32_t pos, std::uint32_t len) const {
+  QRM_EXPECTS(pos + len <= width_);
+  BitRow out(len);
+  const std::uint32_t w0 = pos / kWordBits;
+  const std::uint32_t shift = pos % kWordBits;
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    const Word lo = words_[w0 + i];
+    const Word hi = (w0 + i + 1) < words_.size() ? words_[w0 + i + 1] : 0;
+    out.words_[i] = shift == 0 ? lo : ((lo >> shift) | (hi << (kWordBits - shift)));
+  }
+  out.mask_tail();
+  return out;
+}
+
+void BitRow::paste(std::uint32_t pos, const BitRow& piece) {
+  QRM_EXPECTS(pos + piece.width_ <= width_);
+  const std::uint32_t w0 = pos / kWordBits;
+  const std::uint32_t shift = pos % kWordBits;
+  for (std::size_t i = 0; i < piece.words_.size(); ++i) {
+    // Valid bits of this source word (the piece's own tail must not clear
+    // destination bits beyond the pasted range).
+    const std::uint32_t remaining = piece.width_ - static_cast<std::uint32_t>(i) * kWordBits;
+    const Word mask = low_mask(remaining < kWordBits ? remaining : kWordBits);
+    const Word src = piece.words_[i] & mask;
+    words_[w0 + i] = (words_[w0 + i] & ~(mask << shift)) | (src << shift);
+    if (shift != 0 && (mask >> (kWordBits - shift)) != 0) {
+      words_[w0 + i + 1] =
+          (words_[w0 + i + 1] & ~(mask >> (kWordBits - shift))) | (src >> (kWordBits - shift));
+    }
+  }
+}
+
+void BitRow::set_word(std::uint32_t wi, Word w) {
+  QRM_EXPECTS(wi < words_.size());
+  words_[wi] = w;
+  if (wi + 1 == words_.size()) mask_tail();
 }
 
 void BitRow::assign_words(const std::vector<Word>& words) {

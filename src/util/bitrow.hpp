@@ -21,6 +21,10 @@ namespace qrm {
 /// little-endian bit order: bit i lives in word i/64 at position i%64).
 ///
 /// Invariant: bits at positions >= width() are always zero ("canonical" tail).
+/// Every mutator re-establishes this by masking the last word, so bulk
+/// word-parallel algorithms may read whole words without per-bit bounds
+/// checks; writers going through set_word()/assign_words() get the tail
+/// masked for them.
 class BitRow {
  public:
   using Word = std::uint64_t;
@@ -87,8 +91,18 @@ class BitRow {
   /// Reverse bit order (bit i <-> bit width()-1-i); the LDM flip primitive.
   [[nodiscard]] BitRow reversed() const;
 
+  /// Bits [pos, pos+len) as a new BitRow of width `len` (word-level
+  /// shift-and-splice). Precondition: pos + len <= width().
+  [[nodiscard]] BitRow slice(std::uint32_t pos, std::uint32_t len) const;
+  /// Overwrite bits [pos, pos+piece.width()) from `piece`, leaving all other
+  /// bits untouched. Precondition: pos + piece.width() <= width().
+  void paste(std::uint32_t pos, const BitRow& piece);
+
   /// Raw word access for DMA packing. Word count = ceil(width/64).
   [[nodiscard]] const std::vector<Word>& words() const noexcept { return words_; }
+  /// Overwrite word `wi`; tail bits beyond width() are masked off.
+  /// Precondition: wi < words().size().
+  void set_word(std::uint32_t wi, Word w);
   /// Overwrite storage from raw words (tail bits beyond width are masked off).
   void assign_words(const std::vector<Word>& words);
 

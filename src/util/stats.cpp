@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -28,27 +27,45 @@ double variance(std::span<const double> xs) noexcept {
 double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
 
 double percentile(std::span<const double> xs, double p) {
-  QRM_EXPECTS(!xs.empty());
-  QRM_EXPECTS(p >= 0.0 && p <= 100.0);
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
-  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  return SortedSample(xs).percentile(p);
 }
 
-double min(std::span<const double> xs) noexcept {
-  double best = std::numeric_limits<double>::infinity();
+double min(std::span<const double> xs) {
+  QRM_EXPECTS(!xs.empty());
+  double best = xs.front();
   for (const double x : xs) best = std::min(best, x);
   return best;
 }
 
-double max(std::span<const double> xs) noexcept {
-  double best = -std::numeric_limits<double>::infinity();
+double max(std::span<const double> xs) {
+  QRM_EXPECTS(!xs.empty());
+  double best = xs.front();
   for (const double x : xs) best = std::max(best, x);
   return best;
+}
+
+SortedSample::SortedSample(std::span<const double> xs) : sorted_(xs.begin(), xs.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double SortedSample::percentile(double p) const {
+  QRM_EXPECTS(!sorted_.empty());
+  QRM_EXPECTS(p >= 0.0 && p <= 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double SortedSample::min() const {
+  QRM_EXPECTS(!sorted_.empty());
+  return sorted_.front();
+}
+
+double SortedSample::max() const {
+  QRM_EXPECTS(!sorted_.empty());
+  return sorted_.back();
 }
 
 LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
@@ -74,6 +91,7 @@ LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
 }
 
 std::string summarize(std::span<const double> xs) {
+  if (xs.empty()) return "n=0";
   std::ostringstream os;
   os << "mean=" << mean(xs) << " sd=" << stddev(xs) << " min=" << min(xs) << " max=" << max(xs)
      << " n=" << xs.size();

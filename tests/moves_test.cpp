@@ -93,6 +93,17 @@ TEST(Aod, LegalizeKeepsLockstepChainsTogether) {
   EXPECT_FALSE(validate_move(state, batches[0], true).has_value());
 }
 
+TEST(Aod, LegalizeRejectsDuplicateSites) {
+  // A duplicated site passes the occupancy precondition (both copies see the
+  // same atom) and used to be emitted twice inside one ParallelMove; it must
+  // fail fast instead.
+  OccupancyGrid g(4, 4);
+  g.set({1, 1});
+  g.set({2, 2});
+  const std::vector<Coord> sites{{1, 1}, {2, 2}, {1, 1}};
+  EXPECT_THROW((void)legalize(g, sites, Direction::East, 1), PreconditionError);
+}
+
 TEST(Aod, LegalizeHandsBlockedFollowerToLaterBatch) {
   // Atoms at (0,2) and (2,2) move West; bystander at (0,1)... the first
   // cannot move at all -> invalid intent must throw.

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "util/assert.hpp"
 #include "util/bitrow.hpp"
@@ -235,6 +237,30 @@ TEST(Stats, Basics) {
   EXPECT_DOUBLE_EQ(stats::percentile(xs, 0), 1.0);
   EXPECT_DOUBLE_EQ(stats::percentile(xs, 100), 5.0);
   EXPECT_EQ(stats::mean({}), 0.0);
+}
+
+TEST(Stats, EmptySpanExtremaThrow) {
+  // min/max of an empty sample used to silently return +/-infinity, leaking
+  // "inf" into CSV/bench summaries; they are precondition-checked now.
+  EXPECT_THROW((void)stats::min({}), PreconditionError);
+  EXPECT_THROW((void)stats::max({}), PreconditionError);
+  EXPECT_THROW((void)stats::percentile({}, 50.0), PreconditionError);
+  EXPECT_EQ(stats::summarize({}), "n=0");
+}
+
+TEST(Stats, SortedSampleMatchesFreeFunctions) {
+  const std::vector<double> xs{9, 1, 7, 3, 5};
+  const stats::SortedSample sample(xs);
+  EXPECT_EQ(sample.size(), 5u);
+  EXPECT_DOUBLE_EQ(sample.min(), stats::min(xs));
+  EXPECT_DOUBLE_EQ(sample.max(), stats::max(xs));
+  for (const double p : {0.0, 12.5, 50.0, 90.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(sample.percentile(p), stats::percentile(xs, p));
+  EXPECT_DOUBLE_EQ(sample.median(), 5.0);
+  const stats::SortedSample empty{std::span<const double>{}};
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW((void)empty.percentile(50.0), PreconditionError);
+  EXPECT_THROW((void)empty.min(), PreconditionError);
 }
 
 TEST(Stats, LinearFitRecoversLine) {
