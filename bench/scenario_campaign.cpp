@@ -1,0 +1,92 @@
+// Campaign throughput: scenarios/sec of the smoke registry subset as a
+// function of worker count, plus google-benchmark timings of the scenario
+// plumbing itself (parse + sweep expansion), which must stay negligible
+// next to planning. The table doubles as a determinism check: the campaign
+// fingerprint column must not vary with the worker count.
+
+#include <sstream>
+
+#include "batch/thread_pool.hpp"
+#include "bench_common.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/registry.hpp"
+
+namespace {
+
+using namespace qrm;
+using namespace qrm::bench;
+
+std::vector<std::uint32_t> worker_sweep() {
+  std::vector<std::uint32_t> sweep = {1, 2};
+  const std::uint32_t hw = batch::ThreadPool::resolve_workers(0);
+  if (hw > 2) sweep.push_back(hw);
+  return sweep;
+}
+
+void print_table() {
+  print_header("Scenario campaign throughput — smoke registry vs worker count",
+               "ROADMAP north star: scenario diversity at production scale");
+
+  TextTable table({"workers", "scenarios", "shots", "wall", "shots/s", "speedup",
+                   "fingerprint"});
+  double base_wall = 0.0;
+  for (const std::uint32_t workers : worker_sweep()) {
+    scenario::CampaignConfig config;
+    config.workers = workers;
+    config.filter = "smoke";
+    const scenario::CampaignReport report =
+        scenario::CampaignRunner(config).run(scenario::registry());
+
+    std::size_t shots = 0;
+    for (const scenario::ScenarioOutcome& outcome : report.scenarios)
+      shots += outcome.batch.shots.size();
+    if (workers == 1) base_wall = report.wall_us;
+
+    std::ostringstream fingerprint;
+    fingerprint << "0x" << std::hex << report.fingerprint();
+    table.add_row({std::to_string(report.workers), std::to_string(report.scenarios.size()),
+                   std::to_string(shots), fmt_time_us(report.wall_us),
+                   fmt_double(static_cast<double>(shots) / (report.wall_us * 1e-6)),
+                   fmt_speedup(base_wall / report.wall_us), fingerprint.str()});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+void BM_ParseRegistryEntry(benchmark::State& state) {
+  const std::string text = scenario::serialize(scenario::registry().front());
+  for (auto _ : state) {
+    const scenario::ScenarioSpec spec = scenario::parse_scenario(text);
+    benchmark::DoNotOptimize(spec);
+  }
+}
+BENCHMARK(BM_ParseRegistryEntry);
+
+void BM_ExpandGridSweep(benchmark::State& state) {
+  const std::string sweep =
+      "name=bench\ngrid=16..256 step 16\nfill=0.5,0.6\nshots=4\n";
+  for (auto _ : state) {
+    const std::vector<scenario::ScenarioSpec> specs = scenario::expand_sweeps(sweep);
+    benchmark::DoNotOptimize(specs);
+  }
+}
+BENCHMARK(BM_ExpandGridSweep);
+
+void BM_SmokeScenarioEndToEnd(benchmark::State& state) {
+  scenario::CampaignConfig config;
+  config.workers = static_cast<std::uint32_t>(state.range(0));
+  const scenario::CampaignRunner runner(config);
+  const scenario::ScenarioSpec& spec = scenario::find_scenario("smoke-uniform");
+  for (auto _ : state) {
+    const scenario::ScenarioOutcome outcome = runner.run_one(spec);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_SmokeScenarioEndToEnd)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  run_benchmarks(argc, argv);
+  return 0;
+}

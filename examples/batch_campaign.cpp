@@ -1,63 +1,62 @@
 // Batch campaign: sweep grid sizes, fan shots across the worker pool, and
-// emit one CSV row per (grid, worker-count) cell — the many-experiment
-// workload shape that motivates qrm::batch. Pipe the output into a file to
-// plot fill rate and throughput against array size:
+// emit one CSV row per (grid, worker-count) cell. Since the qrm::scenario
+// subsystem landed this binary is a thin port: the sweep that used to be a
+// hand-coded loop is now a declarative spec expanded by expand_sweeps and
+// run by CampaignRunner — same columns, same seeds, bit-identical
+// fingerprints as the original hand-built BatchPlanner loop.
 //
 //   ./build/examples/batch_campaign > campaign.csv
 
 #include <cstdio>
 #include <iostream>
 
-#include "batch/batch_planner.hpp"
 #include "batch/thread_pool.hpp"
-#include "lattice/region.hpp"
+#include "scenario/campaign.hpp"
 #include "util/csv.hpp"
 
 int main() {
   using namespace qrm;
 
-  constexpr std::uint32_t kShots = 32;
+  // The original sweep, as data: four grid sizes, the paper's ~0.6W even
+  // target (`target=auto`), 32 shots per cell, master seed 0xCA3BA1.
+  constexpr const char* kSweep =
+      "name=batch-campaign\n"
+      "grid=24,32,48,64\n"
+      "target=auto\n"
+      "load=uniform\n"
+      "fill=0.6\n"
+      "shots=32\n"
+      "seed=0xca3ba1\n"
+      "per_move_loss=0.01\n"
+      "background_loss=0.002\n"
+      "max_rounds=6\n";
+  const std::vector<scenario::ScenarioSpec> sweep = scenario::expand_sweeps(kSweep);
+
   const std::uint32_t hw_workers = batch::ThreadPool::resolve_workers(0);
+  std::vector<std::uint32_t> worker_sweep = {1u};
+  if (hw_workers > 1) worker_sweep.push_back(hw_workers);
 
   CsvWriter csv(std::cout);
   csv.header({"grid", "target", "shots", "workers", "success_rate", "mean_fill_rate",
               "total_commands", "mean_rounds", "p50_plan_us", "p50_execute_us",
               "shots_per_sec", "wall_ms", "fingerprint"});
 
-  std::vector<std::uint32_t> worker_sweep = {1u};
-  if (hw_workers > 1) worker_sweep.push_back(hw_workers);
-
-  for (const std::int32_t size : {24, 32, 48, 64}) {
-    const std::int32_t target = size * 3 / 5 / 2 * 2;  // paper's ~0.6W even target
+  for (const scenario::ScenarioSpec& spec : sweep) {
     for (const std::uint32_t workers : worker_sweep) {
-      batch::BatchConfig config;
-      config.plan.target = centered_square(size, target);
-      config.grid_height = size;
-      config.grid_width = size;
-      config.fill = 0.6;
-      config.shots = kShots;
+      scenario::CampaignConfig config;
       config.workers = workers;
-      config.master_seed = 0xCA3BA1;
-      config.loss.per_move_loss = 0.01;
-      config.loss.background_loss = 0.002;
-      config.max_rounds = 6;
-
-      const batch::BatchReport report = batch::BatchPlanner(config).run();
-      double rounds = 0.0;
-      for (const batch::ShotResult& shot : report.shots) rounds += shot.rounds;
-      rounds /= static_cast<double>(report.shots.size());
-
-      csv.row(size, target, kShots, report.workers, report.success_rate(),
-              report.mean_fill_rate(), report.total_commands(), rounds,
-              report.latency(batch::BatchReport::Stage::Plan).p50,
-              report.latency(batch::BatchReport::Stage::Execute).p50,
+      const scenario::ScenarioOutcome outcome =
+          scenario::CampaignRunner(config).run_one(spec);
+      const batch::BatchReport& report = outcome.batch;
+      csv.row(spec.grid_height, spec.target_region().rows, spec.shots, report.workers,
+              report.success_rate(), report.mean_fill_rate(), report.total_commands(),
+              outcome.mean_rounds, outcome.p50_plan_us, outcome.p50_execute_us,
               report.shots_per_second(), report.wall_us / 1000.0, report.fingerprint());
     }
   }
 
   // The fingerprint column is the point of the determinism guarantee: for
   // each grid size, the 1-worker and hw-worker rows must show the same hash.
-  std::fprintf(stderr, "batch_campaign: %u-worker pool, %u shots per cell\n", hw_workers,
-               kShots);
+  std::fprintf(stderr, "batch_campaign: %u-worker pool, 32 shots per cell\n", hw_workers);
   return 0;
 }

@@ -1,0 +1,170 @@
+// scenario_runner: the CLI face of qrm::scenario. Lists and describes the
+// built-in registry, runs campaigns (registry subsets or declarative sweep
+// files) through CampaignRunner, and writes CSV/JSON reports.
+//
+//   scenario_runner list
+//   scenario_runner describe <name>
+//   scenario_runner run [--filter <substr|tag>] [--workers N]
+//                       [--file <campaign.txt>] [--csv <path>] [--json <path>]
+//
+// Exit codes: 0 on success, 1 on usage errors, 2 when a run fails (bad
+// spec file, filter matching nothing, planner precondition).
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/campaign.hpp"
+#include "scenario/registry.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace qrm;
+
+int usage() {
+  std::cerr << "usage: scenario_runner list\n"
+            << "       scenario_runner describe <name>\n"
+            << "       scenario_runner run [--filter <substr|tag>] [--workers N]\n"
+            << "                           [--file <campaign.txt>] [--csv <path>] "
+               "[--json <path>]\n";
+  return 1;
+}
+
+std::string join_tags(const std::vector<std::string>& tags) {
+  std::string joined;
+  for (const std::string& tag : tags) joined += (joined.empty() ? "" : ",") + tag;
+  return joined;
+}
+
+int run_list() {
+  TextTable table({"name", "grid", "target", "load", "algorithm", "arch", "shots", "tags"});
+  for (const scenario::ScenarioSpec& spec : scenario::registry()) {
+    const Region target = spec.target_region();
+    std::ostringstream grid;
+    grid << spec.grid_height << "x" << spec.grid_width;
+    std::ostringstream target_text;
+    target_text << target.rows << "x" << target.cols;
+    table.add_row({spec.name, grid.str(), target_text.str(),
+                   scenario::to_cstring(spec.load), spec.algorithm,
+                   scenario::arch_key(spec.architecture), std::to_string(spec.shots),
+                   join_tags(spec.tags)});
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+int run_describe(const std::string& name) {
+  const scenario::ScenarioSpec& spec = scenario::find_scenario(name);
+  std::cout << serialize(spec);
+  return 0;
+}
+
+int run_campaign(const std::vector<std::string>& args) {
+  scenario::CampaignConfig config;
+  std::string file_path;
+  std::string csv_path;
+  std::string json_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const bool has_value = i + 1 < args.size();
+    if (arg == "--filter" && has_value) {
+      config.filter = args[++i];
+    } else if (arg == "--workers" && has_value) {
+      // Strict parse: std::stoul would silently wrap "-1" to ~4e9 workers.
+      const std::string& text = args[++i];
+      char* end = nullptr;
+      const unsigned long workers = std::strtoul(text.c_str(), &end, 10);
+      if (text.empty() || *end != '\0' || text[0] == '-' || workers > 4096) {
+        std::cerr << "scenario_runner: --workers needs an integer in [0, 4096], got '"
+                  << text << "'\n";
+        return usage();
+      }
+      config.workers = static_cast<std::uint32_t>(workers);
+    } else if (arg == "--file" && has_value) {
+      file_path = args[++i];
+    } else if (arg == "--csv" && has_value) {
+      csv_path = args[++i];
+    } else if (arg == "--json" && has_value) {
+      json_path = args[++i];
+    } else {
+      std::cerr << "scenario_runner: unknown or incomplete option '" << arg << "'\n";
+      return usage();
+    }
+  }
+
+  std::vector<scenario::ScenarioSpec> specs;
+  if (file_path.empty()) {
+    specs = scenario::registry();
+  } else {
+    std::ifstream file(file_path);
+    if (!file) {
+      std::cerr << "scenario_runner: cannot open '" << file_path << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    specs = scenario::expand_sweeps(text.str());
+  }
+
+  const scenario::CampaignRunner runner(config);
+  const scenario::CampaignReport report = runner.run(specs);
+
+  TextTable table({"scenario", "shots", "success", "fill", "rounds", "commands",
+                   "arch ovh", "p50 plan", "fingerprint"});
+  for (const scenario::ScenarioOutcome& outcome : report.scenarios) {
+    std::ostringstream fingerprint;
+    fingerprint << "0x" << std::hex << outcome.fingerprint;
+    table.add_row({outcome.spec.name, std::to_string(outcome.batch.shots.size()),
+                   fmt_percent(outcome.batch.success_rate()),
+                   fmt_percent(outcome.batch.mean_fill_rate()),
+                   fmt_double(outcome.mean_rounds), std::to_string(outcome.batch.total_commands()),
+                   fmt_time_us(outcome.arch_overhead_us), fmt_time_us(outcome.p50_plan_us),
+                   fingerprint.str()});
+  }
+  std::cout << table.render();
+  std::ostringstream campaign_fingerprint;
+  campaign_fingerprint << "0x" << std::hex << report.fingerprint();
+  std::cout << report.scenarios.size() << " scenarios, " << report.workers << " workers, "
+            << report.wall_us / 1000.0 << " ms, campaign fingerprint "
+            << campaign_fingerprint.str() << "\n";
+
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    if (!csv) {
+      std::cerr << "scenario_runner: cannot write '" << csv_path << "'\n";
+      return 2;
+    }
+    scenario::write_csv(report, csv);
+    std::cerr << "wrote " << csv_path << "\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "scenario_runner: cannot write '" << json_path << "'\n";
+      return 2;
+    }
+    scenario::write_json(report, json);
+    std::cerr << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  try {
+    if (args[0] == "list" && args.size() == 1) return run_list();
+    if (args[0] == "describe" && args.size() == 2) return run_describe(args[1]);
+    if (args[0] == "run") return run_campaign({args.begin() + 1, args.end()});
+  } catch (const std::exception& error) {
+    std::cerr << "scenario_runner: " << error.what() << "\n";
+    return 2;
+  }
+  return usage();
+}

@@ -12,6 +12,7 @@
 #include "loading/loader.hpp"
 #include "runtime/control_system.hpp"
 #include "util/assert.hpp"
+#include "util/fnv.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
 
@@ -31,15 +32,7 @@ constexpr std::uint64_t kLossDomain = 0x10550000;
 
 // --- FNV-1a over the deterministic outcome fields -------------------------
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-void mix(std::uint64_t& hash, std::uint64_t value) noexcept {
-  for (int byte = 0; byte < 8; ++byte) {
-    hash ^= (value >> (8 * byte)) & 0xFFULL;
-    hash *= kFnvPrime;
-  }
-}
+void mix(std::uint64_t& hash, std::uint64_t value) noexcept { fnv::mix_u64(hash, value); }
 
 void mix_grid(std::uint64_t& hash, const OccupancyGrid& grid) noexcept {
   mix(hash, static_cast<std::uint64_t>(grid.height()));
@@ -110,7 +103,7 @@ LatencySummary BatchReport::latency(Stage stage) const {
 }
 
 std::uint64_t BatchReport::fingerprint() const noexcept {
-  std::uint64_t hash = kFnvOffset;
+  std::uint64_t hash = fnv::kOffset;
   mix(hash, shots.size());
   for (const ShotResult& shot : shots) {
     mix(hash, shot.shot);

@@ -4,9 +4,21 @@
 
 namespace qrm {
 
+namespace {
+
+/// Shared fill-probability validation for every stochastic loader. The
+/// comparison form also rejects NaN (both comparisons are false), so a
+/// corrupted probability can never silently skew sampling.
+void check_probability(double p, const char* what) {
+  QRM_EXPECTS_MSG(p >= 0.0 && p <= 1.0,
+                  std::string(what) + " must be a probability in [0,1]");
+}
+
+}  // namespace
+
 OccupancyGrid load_random(std::int32_t height, std::int32_t width, const LoaderConfig& config) {
   QRM_EXPECTS(height >= 0 && width >= 0);
-  QRM_EXPECTS(config.fill_probability >= 0.0 && config.fill_probability <= 1.0);
+  check_probability(config.fill_probability, "LoaderConfig::fill_probability");
   OccupancyGrid grid(height, width);
   Rng rng(config.seed);
   for (std::int32_t r = 0; r < height; ++r)
@@ -19,6 +31,8 @@ OccupancyGrid load_random_at_least(std::int32_t height, std::int32_t width,
                                    const LoaderConfig& config, std::int64_t min_atoms,
                                    std::uint32_t max_attempts) {
   QRM_EXPECTS(max_attempts > 0);
+  QRM_EXPECTS_MSG(min_atoms >= 0, "load_random_at_least: min_atoms must be non-negative");
+  check_probability(config.fill_probability, "LoaderConfig::fill_probability");
   OccupancyGrid best;
   std::int64_t best_count = -1;
   for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
@@ -40,6 +54,9 @@ OccupancyGrid load_random_at_least(std::int32_t height, std::int32_t width,
 
 OccupancyGrid load_clustered(std::int32_t height, std::int32_t width,
                              const ClusteredLoaderConfig& config) {
+  check_probability(config.base.fill_probability, "ClusteredLoaderConfig::base.fill_probability");
+  QRM_EXPECTS_MSG(config.cluster_radius >= 0,
+                  "ClusteredLoaderConfig::cluster_radius must be non-negative");
   OccupancyGrid grid = load_random(height, width, config.base);
   Rng rng(config.base.seed ^ 0xC1A57E20ULL);
   for (std::uint32_t k = 0; k < config.clusters; ++k) {
@@ -77,9 +94,30 @@ OccupancyGrid load_pattern(std::int32_t height, std::int32_t width, Pattern patt
   return grid;
 }
 
+OccupancyGrid load_gradient(std::int32_t height, std::int32_t width,
+                            const GradientLoaderConfig& config) {
+  QRM_EXPECTS(height >= 0 && width >= 0);
+  check_probability(config.start_fill, "GradientLoaderConfig::start_fill");
+  check_probability(config.end_fill, "GradientLoaderConfig::end_fill");
+  const std::int32_t span = config.axis == GradientAxis::Rows ? height : width;
+  OccupancyGrid grid(height, width);
+  Rng rng(config.seed);
+  for (std::int32_t r = 0; r < height; ++r) {
+    for (std::int32_t c = 0; c < width; ++c) {
+      const std::int32_t pos = config.axis == GradientAxis::Rows ? r : c;
+      // A one-line/one-trap span has no ramp to interpolate; use start_fill.
+      const double t = span > 1 ? static_cast<double>(pos) / (span - 1) : 0.0;
+      const double p = config.start_fill + (config.end_fill - config.start_fill) * t;
+      if (rng.bernoulli(p)) grid.set({r, c});
+    }
+  }
+  return grid;
+}
+
 double estimate_feasibility(std::int32_t height, std::int32_t width, double p,
                             std::int64_t needed, std::uint32_t trials, std::uint64_t seed) {
   QRM_EXPECTS(trials > 0);
+  check_probability(p, "estimate_feasibility: p");
   std::uint32_t hits = 0;
   for (std::uint32_t t = 0; t < trials; ++t) {
     std::uint64_t mix = seed + t;

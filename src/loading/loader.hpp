@@ -45,6 +45,28 @@ struct ClusteredLoaderConfig {
 [[nodiscard]] OccupancyGrid load_clustered(std::int32_t height, std::int32_t width,
                                            const ClusteredLoaderConfig& config);
 
+/// Which way a gradient loading profile ramps.
+enum class GradientAxis : std::uint8_t {
+  Rows,  ///< fill probability varies with the row index (top -> bottom)
+  Cols,  ///< fill probability varies with the column index (left -> right)
+};
+
+/// Linear fill-probability ramp: independent Bernoulli loading whose
+/// per-trap probability interpolates from `start_fill` at the first
+/// row/column to `end_fill` at the last. Models spatially non-uniform trap
+/// depth (beam-profile falloff across the array), a workload family the
+/// uniform/clustered loaders cannot express: one side of the array is
+/// atom-rich and the other atom-poor, which maximally stresses the
+/// planner's cross-array balance.
+struct GradientLoaderConfig {
+  double start_fill = 0.2;           ///< fill probability at row/col 0, in [0,1]
+  double end_fill = 0.8;             ///< fill probability at the last row/col, in [0,1]
+  GradientAxis axis = GradientAxis::Rows;
+  std::uint64_t seed = 0x5EED;       ///< RNG seed; same seed -> same pattern
+};
+[[nodiscard]] OccupancyGrid load_gradient(std::int32_t height, std::int32_t width,
+                                          const GradientLoaderConfig& config);
+
 /// Deterministic patterns for unit tests and worst-case studies.
 enum class Pattern {
   Full,          ///< every trap occupied

@@ -1,0 +1,232 @@
+#include "scenario/campaign.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/fnv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+
+namespace qrm::scenario {
+
+namespace {
+
+std::string hex_fingerprint(std::uint64_t fingerprint) {
+  std::ostringstream os;
+  os << "0x" << std::hex << fingerprint;
+  return os.str();
+}
+
+/// Minimal JSON string escaping for names/descriptions (quotes, backslash,
+/// control characters).
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          escaped += buf;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+}  // namespace
+
+std::uint64_t CampaignReport::fingerprint() const noexcept {
+  std::uint64_t hash = fnv::kOffset;
+  fnv::mix_u64(hash, scenarios.size());
+  for (const ScenarioOutcome& outcome : scenarios) fnv::mix_u64(hash, outcome.fingerprint);
+  return hash;
+}
+
+batch::BatchConfig to_batch_config(const ScenarioSpec& spec, std::uint32_t workers,
+                                   bool keep_schedules) {
+  batch::BatchConfig config;
+  config.plan.target = spec.target_region();
+  config.plan.mode = spec.mode;
+  config.algorithm = spec.algorithm;
+  config.shots = spec.shots;
+  config.workers = workers;
+  config.master_seed = spec.seed;
+  config.grid_height = spec.grid_height;
+  config.grid_width = spec.grid_width;
+  config.fill = spec.fill;  // only the Uniform generated path draws from it
+  config.loss.per_move_loss = spec.per_move_loss;
+  config.loss.background_loss = spec.background_loss;
+  config.max_rounds = spec.max_rounds;
+  config.keep_schedules = keep_schedules;
+  return config;
+}
+
+CampaignRunner::CampaignRunner(CampaignConfig config) : config_(std::move(config)) {}
+
+ScenarioOutcome CampaignRunner::run_one(const ScenarioSpec& spec) const {
+  validate(spec);
+
+  ScenarioOutcome outcome;
+  outcome.spec = spec;
+
+  const batch::BatchConfig config =
+      to_batch_config(spec, config_.workers, config_.keep_schedules);
+  const batch::BatchPlanner planner(config);
+  if (spec.load == LoadProfile::Uniform) {
+    // The generated path draws exactly this scenario's workload (Bernoulli
+    // with per-shot derived seeds); using it keeps scenario runs
+    // bit-identical with hand-built BatchPlanner sweeps like the old
+    // batch_campaign binary.
+    outcome.batch = planner.run();
+  } else {
+    // Every other family is pre-drawn with the same per-shot seed stream
+    // the generated path would use, then replayed as a captured batch.
+    // Generation is deliberately serial and outside the batch stopwatch:
+    // determinism is trivial, and drawing a grid is cheap next to planning
+    // it — so shots_per_sec measures the pipeline, not the workload
+    // generator. (Parallel generation is a ROADMAP item under sharded
+    // campaign execution.)
+    std::vector<OccupancyGrid> captured;
+    captured.reserve(spec.shots);
+    for (std::uint32_t shot = 0; shot < spec.shots; ++shot)
+      captured.push_back(generate_workload(spec, derive_seed(spec.seed, shot)));
+    outcome.batch = planner.run(captured);
+  }
+
+  // --- SortedSample aggregation over the deterministic columns ------------
+  std::vector<double> rounds;
+  std::vector<double> commands;
+  rounds.reserve(outcome.batch.shots.size());
+  commands.reserve(outcome.batch.shots.size());
+  for (const batch::ShotResult& shot : outcome.batch.shots) {
+    rounds.push_back(static_cast<double>(shot.rounds));
+    commands.push_back(static_cast<double>(shot.commands));
+  }
+  outcome.mean_rounds = stats::mean(rounds);
+  const stats::SortedSample round_sample(rounds);
+  const stats::SortedSample command_sample(commands);
+  outcome.p90_rounds = round_sample.percentile(90.0);
+  outcome.p50_commands = command_sample.median();
+  outcome.p90_commands = command_sample.percentile(90.0);
+
+  outcome.p50_plan_us = outcome.batch.latency(batch::BatchReport::Stage::Plan).p50;
+  outcome.p90_plan_us = outcome.batch.latency(batch::BatchReport::Stage::Plan).p90;
+  outcome.p50_execute_us = outcome.batch.latency(batch::BatchReport::Stage::Execute).p50;
+
+  // --- Architecture control-path model (deterministic) --------------------
+  // Fig. 2 structure with the runtime module's default constants: the
+  // camera frame is pixels_per_site^2 16-bit pixels per trap, a movement
+  // record is 4 bytes.
+  const rt::SystemConfig system;
+  const double pixels = static_cast<double>(spec.grid_height) * spec.grid_width *
+                        system.imaging.pixels_per_site * system.imaging.pixels_per_site;
+  const double mean_commands = stats::mean(commands);
+  if (spec.architecture == rt::Architecture::HostMediated) {
+    const double frame_hop = system.host_link.transfer_us(pixels * 2.0);
+    // shot.commands sums over rounds; each round's return hop carries only
+    // that round's share of the move list.
+    const double per_round_records =
+        outcome.mean_rounds > 0.0 ? mean_commands / outcome.mean_rounds : 0.0;
+    const double records_hop = system.host_link.transfer_us(per_round_records * 4.0);
+    outcome.arch_overhead_us = outcome.mean_rounds * (frame_hop + records_hop);
+  } else {
+    const double detect_us = pixels /
+                             static_cast<double>(system.detection_pixels_per_cycle) /
+                             system.accelerator.clock_mhz;
+    outcome.arch_overhead_us = outcome.mean_rounds * detect_us;
+  }
+
+  // --- Identity + outcome fingerprint -------------------------------------
+  std::uint64_t hash = fnv::kOffset;
+  fnv::mix_text(hash, serialize(spec));
+  fnv::mix_u64(hash, outcome.batch.fingerprint());
+  outcome.fingerprint = hash;
+  return outcome;
+}
+
+CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& specs) const {
+  std::vector<const ScenarioSpec*> selected;
+  for (const ScenarioSpec& spec : specs)
+    if (spec.matches_filter(config_.filter)) selected.push_back(&spec);
+  QRM_EXPECTS_MSG(!selected.empty(),
+                  "campaign filter '" + config_.filter + "' matches no scenarios");
+
+  CampaignReport report;
+  report.scenarios.reserve(selected.size());
+  Stopwatch wall;
+  for (const ScenarioSpec* spec : selected) {
+    report.scenarios.push_back(run_one(*spec));
+    report.workers = report.scenarios.back().batch.workers;
+  }
+  report.wall_us = wall.elapsed_microseconds();
+  return report;
+}
+
+void write_csv(const CampaignReport& report, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.header({"scenario", "grid", "target", "load", "algorithm", "architecture", "shots",
+              "workers", "success_rate", "mean_fill_rate", "mean_rounds", "p90_rounds",
+              "total_commands", "p50_commands", "p90_commands", "arch_overhead_us",
+              "p50_plan_us", "p90_plan_us", "p50_execute_us", "shots_per_sec", "wall_ms",
+              "fingerprint"});
+  for (const ScenarioOutcome& outcome : report.scenarios) {
+    const ScenarioSpec& spec = outcome.spec;
+    const Region target = spec.target_region();
+    std::ostringstream grid;
+    grid << spec.grid_height << "x" << spec.grid_width;
+    std::ostringstream target_text;
+    target_text << target.rows << "x" << target.cols;
+    csv.row(spec.name, grid.str(), target_text.str(), to_cstring(spec.load), spec.algorithm,
+            arch_key(spec.architecture), outcome.batch.shots.size(), report.workers,
+            outcome.batch.success_rate(),
+            outcome.batch.mean_fill_rate(), outcome.mean_rounds, outcome.p90_rounds,
+            outcome.batch.total_commands(), outcome.p50_commands, outcome.p90_commands,
+            outcome.arch_overhead_us, outcome.p50_plan_us, outcome.p90_plan_us,
+            outcome.p50_execute_us, outcome.batch.shots_per_second(),
+            outcome.batch.wall_us / 1000.0, hex_fingerprint(outcome.fingerprint));
+  }
+}
+
+void write_json(const CampaignReport& report, std::ostream& out) {
+  out << "{\n";
+  out << "  \"workers\": " << report.workers << ",\n";
+  out << "  \"wall_ms\": " << report.wall_us / 1000.0 << ",\n";
+  out << "  \"fingerprint\": \"" << hex_fingerprint(report.fingerprint()) << "\",\n";
+  out << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < report.scenarios.size(); ++i) {
+    const ScenarioOutcome& outcome = report.scenarios[i];
+    const ScenarioSpec& spec = outcome.spec;
+    out << "    {\n";
+    out << "      \"name\": \"" << json_escape(spec.name) << "\",\n";
+    out << "      \"description\": \"" << json_escape(spec.description) << "\",\n";
+    out << "      \"load\": \"" << to_cstring(spec.load) << "\",\n";
+    out << "      \"algorithm\": \"" << json_escape(spec.algorithm) << "\",\n";
+    out << "      \"architecture\": \"" << arch_key(spec.architecture) << "\",\n";
+    out << "      \"grid\": [" << spec.grid_height << ", " << spec.grid_width << "],\n";
+    out << "      \"shots\": " << outcome.batch.shots.size() << ",\n";
+    out << "      \"success_rate\": " << outcome.batch.success_rate() << ",\n";
+    out << "      \"mean_fill_rate\": " << outcome.batch.mean_fill_rate() << ",\n";
+    out << "      \"mean_rounds\": " << outcome.mean_rounds << ",\n";
+    out << "      \"total_commands\": " << outcome.batch.total_commands() << ",\n";
+    out << "      \"arch_overhead_us\": " << outcome.arch_overhead_us << ",\n";
+    out << "      \"p50_plan_us\": " << outcome.p50_plan_us << ",\n";
+    out << "      \"p50_execute_us\": " << outcome.p50_execute_us << ",\n";
+    out << "      \"fingerprint\": \"" << hex_fingerprint(outcome.fingerprint) << "\"\n";
+    out << "    }" << (i + 1 < report.scenarios.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace qrm::scenario

@@ -1,0 +1,98 @@
+#pragma once
+/// \file campaign.hpp
+/// CampaignRunner: fan a scenario matrix through qrm::batch and aggregate
+/// per-scenario results into a CSV/JSON report.
+///
+/// Determinism guarantee, inherited from BatchPlanner and extended across
+/// scenarios: every outcome field of a CampaignReport — per-shot grids,
+/// counts, rates, per-scenario fingerprints, and the campaign fingerprint —
+/// is bit-identical for any worker count. Only wall-clock fields (`*_us`,
+/// `wall_us`, shots/sec) vary run to run; they are excluded from every
+/// fingerprint.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "batch/batch_planner.hpp"
+#include "scenario/spec.hpp"
+
+namespace qrm::scenario {
+
+struct CampaignConfig {
+  std::uint32_t workers = 0;    ///< batch pool size; 0 -> hardware_concurrency
+  std::string filter;           ///< scenario name-substring / tag filter
+  bool keep_schedules = false;  ///< retain per-round schedules per shot
+};
+
+/// One scenario's batch outcome plus its SortedSample aggregation.
+struct ScenarioOutcome {
+  ScenarioSpec spec;
+  batch::BatchReport batch;
+
+  // Deterministic aggregates.
+  double mean_rounds = 0.0;
+  double p90_rounds = 0.0;
+  double p50_commands = 0.0;
+  double p90_commands = 0.0;
+  /// Deterministic per-shot control-path overhead of the spec's
+  /// architecture (Fig. 2 structural model): host-mediated pays the camera
+  /// frame and the move list crossing the host link every round;
+  /// FPGA-integrated pays only streaming detection cycles. Computed from
+  /// the link/clock constants of runtime/control_system.hpp and the
+  /// scenario's own mean rounds / commands, so it is reproducible and
+  /// worker-count independent (unlike the measured `*_us` columns).
+  double arch_overhead_us = 0.0;
+
+  // Wall-clock aggregates (measurement, excluded from fingerprints).
+  double p50_plan_us = 0.0;
+  double p90_plan_us = 0.0;
+  double p50_execute_us = 0.0;
+
+  /// FNV-1a over the serialized spec and the batch outcome fingerprint.
+  std::uint64_t fingerprint = 0;
+};
+
+struct CampaignReport {
+  std::vector<ScenarioOutcome> scenarios;
+  std::uint32_t workers = 0;  ///< pool size actually used per batch
+  double wall_us = 0.0;       ///< end-to-end campaign wall time
+
+  /// Order-sensitive combination of the per-scenario fingerprints. Two
+  /// campaigns over the same scenario list must agree here regardless of
+  /// worker count.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+};
+
+/// The exact BatchConfig a scenario runs as. Exposed so tests (and anyone
+/// porting a hand-coded sweep binary) can prove the scenario path is
+/// bit-identical to driving BatchPlanner directly.
+[[nodiscard]] batch::BatchConfig to_batch_config(const ScenarioSpec& spec, std::uint32_t workers,
+                                                 bool keep_schedules = false);
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignConfig config = {});
+
+  [[nodiscard]] const CampaignConfig& config() const noexcept { return config_; }
+
+  /// Run one scenario (validated first; the config filter is not applied).
+  [[nodiscard]] ScenarioOutcome run_one(const ScenarioSpec& spec) const;
+
+  /// Run every scenario matching the config filter, in order. Throws
+  /// PreconditionError when the filter matches nothing — a silently empty
+  /// campaign would read as a green CI run.
+  [[nodiscard]] CampaignReport run(const std::vector<ScenarioSpec>& specs) const;
+
+ private:
+  CampaignConfig config_;
+};
+
+/// One CSV row per scenario (see implementation for the column list).
+void write_csv(const CampaignReport& report, std::ostream& out);
+
+/// The same content as a JSON document, for tooling that wants structure.
+void write_json(const CampaignReport& report, std::ostream& out);
+
+}  // namespace qrm::scenario

@@ -1,0 +1,126 @@
+#pragma once
+/// \file spec.hpp
+/// Declarative workload scenarios: the full experiment axis space as data.
+///
+/// The paper evaluates on exactly one workload family — Bernoulli(0.5)
+/// loads into a centred square target. A ScenarioSpec captures everything
+/// an evaluation binary would otherwise hard-code: grid geometry, loading
+/// model, loss regime, target size, plan mode, planner choice, control
+/// architecture, shot count and master seed. Specs round-trip through a
+/// diffable key=value text format (see `serialize` / `parse_scenario`) and
+/// may carry numeric sweeps (`grid=64..256 step 64`, `fill=0.4,0.5,0.6`)
+/// that `expand_sweeps` turns into a scenario matrix.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "lattice/grid.hpp"
+#include "lattice/region.hpp"
+#include "loading/loader.hpp"
+#include "runtime/control_system.hpp"
+
+namespace qrm::scenario {
+
+/// Which loader family draws a shot's initial occupancy.
+enum class LoadProfile : std::uint8_t {
+  Uniform,   ///< independent Bernoulli(fill) — the paper's workload
+  AtLeast,   ///< Bernoulli retried until min_atoms are present
+  Clustered, ///< Bernoulli + emptied circular blast regions
+  Gradient,  ///< linear fill ramp across rows/cols
+  Pattern,   ///< deterministic worst-case patterns
+};
+
+[[nodiscard]] const char* to_cstring(LoadProfile profile) noexcept;
+[[nodiscard]] const char* to_cstring(Pattern pattern) noexcept;
+
+/// The spec-file value of an architecture ("fpga" / "host") — the single
+/// source for serialize/parse and every report writer.
+[[nodiscard]] const char* arch_key(rt::Architecture architecture) noexcept;
+
+/// One fully-specified experiment. Field defaults are the serialized
+/// defaults: a key omitted from a scenario file means the value below.
+struct ScenarioSpec {
+  std::string name;          ///< registry / report identifier (required)
+  std::string description;   ///< one line for `scenario_runner describe`
+  std::vector<std::string> tags;  ///< free-form labels ("smoke", "paper", ...)
+
+  // --- Geometry -----------------------------------------------------------
+  std::int32_t grid_height = 32;
+  std::int32_t grid_width = 32;
+  /// Target rectangle, centred in the grid. 0x0 selects the paper's rule:
+  /// an even ~0.6*min(H,W) square (`target=auto`).
+  std::int32_t target_rows = 0;
+  std::int32_t target_cols = 0;
+
+  // --- Loading model ------------------------------------------------------
+  LoadProfile load = LoadProfile::Uniform;
+  double fill = 0.55;               ///< uniform / at-least / clustered base fill
+  /// AtLeast: retry until this many atoms. 0 selects `min_atoms=auto`,
+  /// the resolved target area (the minimum for a defect-free fill).
+  std::int64_t min_atoms = 0;
+  std::uint32_t clusters = 3;       ///< Clustered: blast-region count
+  std::int32_t cluster_radius = 2;  ///< Clustered: blast radius
+  double gradient_start = 0.2;      ///< Gradient: fill at row/col 0
+  double gradient_end = 0.8;        ///< Gradient: fill at the last row/col
+  GradientAxis gradient_axis = GradientAxis::Rows;
+  Pattern pattern = Pattern::Checkerboard;  ///< Pattern profile choice
+
+  // --- Planner + runtime --------------------------------------------------
+  PlanMode mode = PlanMode::Balanced;
+  std::string algorithm = "qrm";    ///< baselines::algorithm_names() entry
+  rt::Architecture architecture = rt::Architecture::FpgaIntegrated;
+  std::uint32_t shots = 16;
+  std::uint64_t seed = 0x5EED;      ///< master seed; shots derive streams
+  double per_move_loss = 0.005;
+  double background_loss = 0.002;
+  std::uint32_t max_rounds = 10;
+
+  /// The concrete centred target this spec plans into (resolves `auto`).
+  [[nodiscard]] Region target_region() const;
+  /// The concrete AtLeast demand (resolves `auto` to the target area).
+  [[nodiscard]] std::int64_t resolved_min_atoms() const;
+
+  [[nodiscard]] bool has_tag(const std::string& tag) const;
+  /// Campaign filter rule: empty matches everything, otherwise substring
+  /// of the name or exact tag.
+  [[nodiscard]] bool matches_filter(const std::string& filter) const;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// Throws PreconditionError unless the spec is runnable: non-empty name,
+/// positive geometry, target fitting the grid with even sides (the QRM
+/// quadrant decomposition's requirement), probabilities in [0,1], a known
+/// algorithm name, shots/max_rounds positive.
+void validate(const ScenarioSpec& spec);
+
+/// Draw the initial occupancy for one shot of this scenario. `shot_seed`
+/// is the shot's derived stream (derive_seed(spec.seed, shot)); Pattern
+/// profiles ignore it. A validated spec never throws here.
+[[nodiscard]] OccupancyGrid generate_workload(const ScenarioSpec& spec, std::uint64_t shot_seed);
+
+/// Canonical text form: `key=value` lines in fixed order, one scenario per
+/// block. Keys irrelevant to the chosen load profile are omitted, so the
+/// output is minimal, diffable, and parses back to an equal spec.
+[[nodiscard]] std::string serialize(const ScenarioSpec& spec);
+
+/// Parse one scenario block. Strict: unknown keys, duplicate keys, keys
+/// that do not apply to the chosen load profile, malformed values and
+/// sweep syntax (use expand_sweeps for sweeps) all throw PreconditionError.
+/// `#` starts a comment; blank lines are ignored. The parsed spec is
+/// validated before it is returned.
+[[nodiscard]] ScenarioSpec parse_scenario(const std::string& text);
+
+/// Parse a campaign file: one or more scenario blocks separated by `---`
+/// lines, where numeric keys (grid, target, fill, shots, max_rounds,
+/// per_move_loss, seed) may carry a sweep — either `lo..hi step s`
+/// (inclusive range) or a comma list. Sweeps multiply into the cartesian
+/// scenario matrix; expanded scenarios get `/key=value` name suffixes.
+/// Throws PreconditionError on malformed sweeps or a matrix larger than
+/// `max_scenarios`.
+[[nodiscard]] std::vector<ScenarioSpec> expand_sweeps(const std::string& text,
+                                                      std::size_t max_scenarios = 4096);
+
+}  // namespace qrm::scenario

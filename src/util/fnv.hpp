@@ -1,0 +1,32 @@
+#pragma once
+/// \file fnv.hpp
+/// FNV-1a hashing primitives shared by every fingerprint in the repo
+/// (batch reports, scenario campaigns). Fingerprints from different
+/// modules are compared and combined, so there must be exactly one copy
+/// of the constants and the mixing order.
+
+#include <cstdint>
+#include <string>
+
+namespace qrm::fnv {
+
+inline constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+constexpr void mix_byte(std::uint64_t& hash, std::uint8_t byte) noexcept {
+  hash ^= byte;
+  hash *= kPrime;
+}
+
+/// Mix a 64-bit value little-endian byte by byte.
+constexpr void mix_u64(std::uint64_t& hash, std::uint64_t value) noexcept {
+  for (int byte = 0; byte < 8; ++byte) mix_byte(hash, (value >> (8 * byte)) & 0xFFU);
+}
+
+/// Mix a length-prefixed byte string.
+inline void mix_text(std::uint64_t& hash, const std::string& text) noexcept {
+  mix_u64(hash, text.size());
+  for (const char c : text) mix_byte(hash, static_cast<std::uint8_t>(c));
+}
+
+}  // namespace qrm::fnv

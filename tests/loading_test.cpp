@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/assert.hpp"
 #include "loading/loader.hpp"
 
@@ -28,6 +30,67 @@ TEST(Loader, ExtremesAreExact) {
   EXPECT_EQ(load_random(10, 10, {0.0, 3}).atom_count(), 0);
   EXPECT_EQ(load_random(10, 10, {1.0, 3}).atom_count(), 100);
   EXPECT_THROW((void)load_random(10, 10, {1.5, 3}), PreconditionError);
+}
+
+TEST(Loader, OutOfRangeProbabilitiesThrowEverywhere) {
+  // Every loader family must reject an out-of-[0,1] (or NaN) probability
+  // instead of silently skewing the sample (mirrors the stats::min/max
+  // empty-span hardening).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)load_random(4, 4, {-0.1, 3}), PreconditionError);
+  EXPECT_THROW((void)load_random(4, 4, {nan, 3}), PreconditionError);
+  EXPECT_THROW((void)load_random_at_least(4, 4, {1.5, 3}, 1), PreconditionError);
+  EXPECT_THROW((void)load_random_at_least(4, 4, {0.5, 3}, -1), PreconditionError);
+  ClusteredLoaderConfig clustered;
+  clustered.base = {2.0, 3};
+  EXPECT_THROW((void)load_clustered(4, 4, clustered), PreconditionError);
+  clustered.base = {0.5, 3};
+  clustered.cluster_radius = -1;
+  EXPECT_THROW((void)load_clustered(4, 4, clustered), PreconditionError);
+  GradientLoaderConfig gradient;
+  gradient.start_fill = -0.01;
+  EXPECT_THROW((void)load_gradient(4, 4, gradient), PreconditionError);
+  gradient.start_fill = 0.2;
+  gradient.end_fill = 1.01;
+  EXPECT_THROW((void)load_gradient(4, 4, gradient), PreconditionError);
+  EXPECT_THROW((void)estimate_feasibility(4, 4, nan, 1, 4, 9), PreconditionError);
+}
+
+TEST(Loader, GradientIsDeterministicAndRamps) {
+  GradientLoaderConfig config;
+  config.start_fill = 0.1;
+  config.end_fill = 0.9;
+  config.seed = 77;
+  const OccupancyGrid a = load_gradient(64, 64, config);
+  const OccupancyGrid b = load_gradient(64, 64, config);
+  EXPECT_EQ(a, b);
+
+  // The top third of the rows must be markedly emptier than the bottom
+  // third (expected fills ~0.23 vs ~0.77 over 64*21 trap draws).
+  std::int64_t top = 0;
+  std::int64_t bottom = 0;
+  for (std::int32_t r = 0; r < 21; ++r) top += a.row(r).count();
+  for (std::int32_t r = 43; r < 64; ++r) bottom += a.row(r).count();
+  EXPECT_LT(top * 2, bottom);
+
+  // Column ramp: same statistics, transposed.
+  config.axis = GradientAxis::Cols;
+  const OccupancyGrid c = load_gradient(64, 64, config);
+  std::int64_t left = 0;
+  std::int64_t right = 0;
+  for (std::int32_t r = 0; r < 64; ++r) {
+    for (std::int32_t col = 0; col < 21; ++col) left += c.occupied({r, col}) ? 1 : 0;
+    for (std::int32_t col = 43; col < 64; ++col) right += c.occupied({r, col}) ? 1 : 0;
+  }
+  EXPECT_LT(left * 2, right);
+}
+
+TEST(Loader, GradientExtremesAndDegenerateSpans) {
+  EXPECT_EQ(load_gradient(8, 8, {0.0, 0.0, GradientAxis::Rows, 1}).atom_count(), 0);
+  EXPECT_EQ(load_gradient(8, 8, {1.0, 1.0, GradientAxis::Cols, 1}).atom_count(), 64);
+  // One row: no ramp to interpolate; behaves like Bernoulli(start_fill).
+  EXPECT_EQ(load_gradient(1, 16, {1.0, 0.0, GradientAxis::Rows, 1}).atom_count(), 16);
+  EXPECT_EQ(load_gradient(0, 0, {0.3, 0.7, GradientAxis::Rows, 1}).atom_count(), 0);
 }
 
 TEST(Loader, AtLeastRetriesUntilEnough) {

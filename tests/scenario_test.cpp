@@ -1,0 +1,392 @@
+// Tests for the qrm::scenario subsystem: spec text round-trip and strict
+// rejection, registry completeness, sweep expansion, and the campaign
+// runner's worker-count-independent fingerprints (mirroring batch_test).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "batch/batch_planner.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace qrm {
+namespace {
+
+using scenario::LoadProfile;
+using scenario::ScenarioSpec;
+
+/// A scenario small enough that the multi-worker campaign cases stay fast.
+ScenarioSpec tiny_spec() {
+  ScenarioSpec spec;
+  spec.name = "tiny";
+  spec.grid_height = spec.grid_width = 16;
+  spec.target_rows = spec.target_cols = 8;
+  spec.fill = 0.7;
+  spec.shots = 6;
+  spec.seed = 0x7117;
+  spec.max_rounds = 4;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Spec round trip + validation
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSpec, SerializeParseRoundTripsEveryRegistryEntry) {
+  for (const ScenarioSpec& spec : scenario::registry()) {
+    const std::string text = serialize(spec);
+    const ScenarioSpec parsed = scenario::parse_scenario(text);
+    EXPECT_EQ(parsed, spec) << "round trip diverged for " << spec.name << ":\n" << text;
+    // Idempotence: serializing the parse reproduces the text exactly.
+    EXPECT_EQ(serialize(parsed), text);
+  }
+}
+
+TEST(ScenarioSpec, RoundTripPreservesEveryProfileSpecificField) {
+  ScenarioSpec spec = tiny_spec();
+  spec.description = "a description with spaces = and symbols";
+  spec.tags = {"smoke", "extra"};
+  spec.load = LoadProfile::Gradient;
+  // Serialization is minimal: keys outside the chosen load profile are
+  // omitted, so a round trip only preserves profile-relevant fields.
+  spec.fill = 0.55;
+  spec.gradient_start = 0.125;
+  spec.gradient_end = 0.875;
+  spec.gradient_axis = GradientAxis::Cols;
+  spec.mode = PlanMode::Compact;
+  spec.algorithm = "qrm-compact";
+  spec.architecture = rt::Architecture::HostMediated;
+  const ScenarioSpec parsed = scenario::parse_scenario(serialize(spec));
+  EXPECT_EQ(parsed, spec);
+}
+
+TEST(ScenarioSpec, ParserAcceptsCommentsBlanksAndAutoKeys) {
+  const ScenarioSpec parsed = scenario::parse_scenario(
+      "# a campaign comment\n"
+      "name=commented\n"
+      "\n"
+      "grid=24\n"
+      "target=auto\n"
+      "load=at-least\n"
+      "fill=0.4\n"
+      "min_atoms=auto\n"
+      "seed=123\n");
+  EXPECT_EQ(parsed.grid_height, 24);
+  EXPECT_EQ(parsed.grid_width, 24);
+  EXPECT_EQ(parsed.target_rows, 0);  // auto
+  EXPECT_EQ(parsed.target_region().rows, 14);  // 24*3/5 rounded down to even
+  EXPECT_EQ(parsed.load, LoadProfile::AtLeast);
+  EXPECT_EQ(parsed.resolved_min_atoms(), 14 * 14);
+  EXPECT_EQ(parsed.seed, 123u);
+}
+
+TEST(ScenarioSpec, ParserRejectsMalformedInput) {
+  // Unknown key.
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nnot_a_key=1\n"), PreconditionError);
+  // Duplicate key.
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nname=y\n"), PreconditionError);
+  // Not key=value.
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\njust some text\n"), PreconditionError);
+  // Non-numeric value.
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nfill=lots\n"), PreconditionError);
+  // Unknown enum values.
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nload=magnetic\n"), PreconditionError);
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nmode=fastest\n"), PreconditionError);
+  // Empty block.
+  EXPECT_THROW((void)scenario::parse_scenario("# only a comment\n"), PreconditionError);
+  // Profile-specific key under the wrong profile.
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nload=uniform\npattern=border\n"),
+               PreconditionError);
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nload=pattern\nfill=0.5\n"),
+               PreconditionError);
+}
+
+TEST(ScenarioSpec, ValidationRejectsUnrunnableSpecs) {
+  // Out-of-range probability.
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nfill=1.5\n"), PreconditionError);
+  // Odd grid/target (quadrant decomposition needs even sides).
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\ngrid=33\n"), PreconditionError);
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\ngrid=32\ntarget=15x16\n"),
+               PreconditionError);
+  // Target larger than the grid.
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\ngrid=16\ntarget=18\n"),
+               PreconditionError);
+  // Unknown planner.
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nalgorithm=quantum\n"),
+               PreconditionError);
+  // Whitespace in the name.
+  EXPECT_THROW((void)scenario::parse_scenario("name=two words\n"), PreconditionError);
+  // Non-positive counts.
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nshots=0\n"), PreconditionError);
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nmax_rounds=0\n"), PreconditionError);
+  // Count fields must fit their spec types and sanity caps — a negative or
+  // oversized value is an error, never a silent integer wrap (clusters=-1
+  // must not become ~4e9 blast regions).
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nload=clustered\nclusters=-1\n"),
+               PreconditionError);
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nload=clustered\ncluster_radius=-1\n"),
+               PreconditionError);
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\ngrid=5000000000\n"), PreconditionError);
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nshots=5000000000\n"),
+               PreconditionError);
+  ScenarioSpec oversized = tiny_spec();
+  oversized.clusters = 1u << 20;
+  oversized.load = LoadProfile::Clustered;
+  EXPECT_THROW(scenario::validate(oversized), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioRegistry, ShipsTheRequiredCoverage) {
+  const std::vector<ScenarioSpec>& scenarios = scenario::registry();
+  EXPECT_GE(scenarios.size(), 8u);
+
+  std::set<std::string> names;
+  std::set<LoadProfile> profiles;
+  std::set<rt::Architecture> architectures;
+  for (const ScenarioSpec& spec : scenarios) {
+    EXPECT_TRUE(names.insert(spec.name).second) << "duplicate name " << spec.name;
+    EXPECT_NO_THROW(scenario::validate(spec)) << spec.name;
+    EXPECT_FALSE(spec.description.empty()) << spec.name;
+    profiles.insert(spec.load);
+    architectures.insert(spec.architecture);
+  }
+  // All five loader families and both control architectures are exercised.
+  EXPECT_EQ(profiles.size(), 5u);
+  EXPECT_EQ(architectures.size(), 2u);
+  // The paper's own workload and a large-grid stress point are present.
+  EXPECT_NO_THROW((void)scenario::find_scenario("paper-fig7"));
+  EXPECT_NO_THROW((void)scenario::find_scenario("large-grid-256"));
+  EXPECT_THROW((void)scenario::find_scenario("no-such-scenario"), PreconditionError);
+}
+
+TEST(ScenarioRegistry, SmokeSubsetIsSmallAndNonEmpty) {
+  const std::vector<ScenarioSpec> smoke = scenario::filter_registry("smoke");
+  ASSERT_GE(smoke.size(), 5u);
+  for (const ScenarioSpec& spec : smoke) {
+    EXPECT_LE(spec.grid_height * spec.grid_width, 48 * 48) << spec.name;
+    EXPECT_LE(spec.shots, 16u) << spec.name;
+  }
+  // Name-substring filtering works too, and a miss is empty.
+  EXPECT_EQ(scenario::filter_registry("paper-fig7").size(), 1u);
+  EXPECT_TRUE(scenario::filter_registry("definitely-missing").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Sweep expansion
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSweep, RangeAndListSweepsExpandToTheCartesianMatrix) {
+  const std::vector<ScenarioSpec> grids =
+      scenario::expand_sweeps("name=s\ngrid=64..256 step 64\n");
+  ASSERT_EQ(grids.size(), 4u);  // 64, 128, 192, 256
+  EXPECT_EQ(grids[0].grid_height, 64);
+  EXPECT_EQ(grids[3].grid_height, 256);
+  EXPECT_EQ(grids[1].name, "s/grid=128");
+
+  const std::vector<ScenarioSpec> matrix = scenario::expand_sweeps(
+      "name=m\ngrid=16,32\nfill=0.5,0.6,0.7\nshots=4\n");
+  ASSERT_EQ(matrix.size(), 6u);
+  std::set<std::string> names;
+  for (const ScenarioSpec& spec : matrix) names.insert(spec.name);
+  EXPECT_EQ(names.size(), 6u);  // unique suffixes per combination
+  EXPECT_EQ(names.count("m/grid=16/fill=0.6"), 1u);
+
+  // Float range steps land on the written grid points.
+  const std::vector<ScenarioSpec> fills =
+      scenario::expand_sweeps("name=f\nfill=0.4..0.6 step 0.1\n");
+  ASSERT_EQ(fills.size(), 3u);
+  EXPECT_DOUBLE_EQ(fills[2].fill, 0.6);
+}
+
+TEST(ScenarioSweep, MultiBlockFilesAndRejection) {
+  const std::vector<ScenarioSpec> blocks = scenario::expand_sweeps(
+      "name=a\nshots=2\n"
+      "---\n"
+      "name=b\ngrid=16,32\nshots=2\n");
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].name, "a");
+
+  // Malformed sweeps.
+  EXPECT_THROW((void)scenario::expand_sweeps("name=x\ngrid=64..256\n"), PreconditionError);
+  EXPECT_THROW((void)scenario::expand_sweeps("name=x\ngrid=64..32 step 16\n"),
+               PreconditionError);
+  EXPECT_THROW((void)scenario::expand_sweeps("name=x\ngrid=64..128 step 0\n"),
+               PreconditionError);
+  EXPECT_THROW((void)scenario::expand_sweeps("name=x\nfill=0.4,,0.6\n"), PreconditionError);
+  // Sweep on a non-sweepable key is a plain parse error (comma value).
+  EXPECT_THROW((void)scenario::expand_sweeps("name=x\nmode=balanced,compact\n"),
+               PreconditionError);
+  // Matrix cap.
+  EXPECT_THROW((void)scenario::expand_sweeps("name=x\nseed=1..100 step 1\n", 10),
+               PreconditionError);
+  // Duplicate names across blocks.
+  EXPECT_THROW((void)scenario::expand_sweeps("name=a\n---\nname=a\n"), PreconditionError);
+  // Empty file.
+  EXPECT_THROW((void)scenario::expand_sweeps("# nothing\n"), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Workload generation
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioWorkload, EveryProfileGeneratesDeterministically) {
+  for (const LoadProfile profile :
+       {LoadProfile::Uniform, LoadProfile::AtLeast, LoadProfile::Clustered,
+        LoadProfile::Gradient, LoadProfile::Pattern}) {
+    ScenarioSpec spec = tiny_spec();
+    spec.load = profile;
+    const OccupancyGrid a = generate_workload(spec, 7);
+    const OccupancyGrid b = generate_workload(spec, 7);
+    EXPECT_EQ(a, b) << scenario::to_cstring(profile);
+    EXPECT_EQ(a.height(), spec.grid_height);
+    EXPECT_EQ(a.width(), spec.grid_width);
+    if (profile != LoadProfile::Pattern) {
+      const OccupancyGrid c = generate_workload(spec, 8);
+      EXPECT_NE(a, c) << scenario::to_cstring(profile) << " ignored the shot seed";
+    }
+  }
+}
+
+TEST(ScenarioWorkload, AtLeastHonoursTheResolvedDemand) {
+  ScenarioSpec spec = tiny_spec();
+  spec.load = LoadProfile::AtLeast;
+  spec.fill = 0.5;
+  const OccupancyGrid grid = generate_workload(spec, 3);
+  EXPECT_GE(grid.atom_count(), spec.resolved_min_atoms());
+}
+
+// ---------------------------------------------------------------------------
+// CampaignRunner
+// ---------------------------------------------------------------------------
+
+TEST(CampaignRunner, MatchesAHandBuiltBatchPlannerBitForBit) {
+  // The scenario path must reproduce a hand-coded BatchPlanner sweep cell
+  // (the old batch_campaign binary) exactly: same seeds, same fingerprint.
+  const ScenarioSpec spec = tiny_spec();
+
+  batch::BatchConfig by_hand;
+  by_hand.plan.target = centered_region(16, 16, 8, 8);
+  by_hand.grid_height = by_hand.grid_width = 16;
+  by_hand.fill = 0.7;
+  by_hand.shots = 6;
+  by_hand.workers = 2;
+  by_hand.master_seed = spec.seed;
+  by_hand.loss.per_move_loss = spec.per_move_loss;
+  by_hand.loss.background_loss = spec.background_loss;
+  by_hand.max_rounds = 4;
+  const std::uint64_t expected = batch::BatchPlanner(by_hand).run().fingerprint();
+
+  scenario::CampaignConfig config;
+  config.workers = 2;
+  const scenario::ScenarioOutcome outcome = scenario::CampaignRunner(config).run_one(spec);
+  EXPECT_EQ(outcome.batch.fingerprint(), expected);
+}
+
+TEST(CampaignRunner, FingerprintsAreWorkerCountIndependent) {
+  // The batch_test guarantee, one level up: a campaign over multiple
+  // loader families must agree bit-for-bit between 1 and 8 workers.
+  std::vector<ScenarioSpec> specs;
+  for (const LoadProfile profile :
+       {LoadProfile::Uniform, LoadProfile::Clustered, LoadProfile::Gradient}) {
+    ScenarioSpec spec = tiny_spec();
+    spec.name = std::string("tiny-") + scenario::to_cstring(profile);
+    spec.load = profile;
+    specs.push_back(spec);
+  }
+
+  scenario::CampaignConfig serial;
+  serial.workers = 1;
+  scenario::CampaignConfig pooled;
+  pooled.workers = 8;
+  const scenario::CampaignReport a = scenario::CampaignRunner(serial).run(specs);
+  const scenario::CampaignReport b = scenario::CampaignRunner(pooled).run(specs);
+
+  ASSERT_EQ(a.scenarios.size(), b.scenarios.size());
+  for (std::size_t i = 0; i < a.scenarios.size(); ++i) {
+    EXPECT_EQ(a.scenarios[i].fingerprint, b.scenarios[i].fingerprint)
+        << a.scenarios[i].spec.name;
+    EXPECT_EQ(a.scenarios[i].batch.fingerprint(), b.scenarios[i].batch.fingerprint());
+    EXPECT_DOUBLE_EQ(a.scenarios[i].arch_overhead_us, b.scenarios[i].arch_overhead_us);
+    for (std::size_t shot = 0; shot < a.scenarios[i].batch.shots.size(); ++shot) {
+      EXPECT_EQ(a.scenarios[i].batch.shots[shot].final_grid,
+                b.scenarios[i].batch.shots[shot].final_grid);
+    }
+  }
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(CampaignRunner, FilterSelectsAndEmptyFilterFails) {
+  std::vector<ScenarioSpec> specs;
+  ScenarioSpec first = tiny_spec();
+  first.name = "alpha";
+  first.tags = {"smoke"};
+  ScenarioSpec second = tiny_spec();
+  second.name = "beta";
+  specs = {first, second};
+
+  scenario::CampaignConfig config;
+  config.workers = 2;
+  config.filter = "smoke";
+  const scenario::CampaignReport report = scenario::CampaignRunner(config).run(specs);
+  ASSERT_EQ(report.scenarios.size(), 1u);
+  EXPECT_EQ(report.scenarios[0].spec.name, "alpha");
+
+  config.filter = "no-match";
+  EXPECT_THROW((void)scenario::CampaignRunner(config).run(specs), PreconditionError);
+}
+
+TEST(CampaignRunner, ArchitectureModelSeparatesTheTwoControlPaths) {
+  ScenarioSpec host = tiny_spec();
+  host.name = "tiny-host";
+  host.architecture = rt::Architecture::HostMediated;
+  ScenarioSpec fpga = tiny_spec();
+  fpga.name = "tiny-fpga";
+  fpga.architecture = rt::Architecture::FpgaIntegrated;
+
+  scenario::CampaignConfig config;
+  config.workers = 2;
+  const scenario::CampaignRunner runner(config);
+  const scenario::ScenarioOutcome host_outcome = runner.run_one(host);
+  const scenario::ScenarioOutcome fpga_outcome = runner.run_one(fpga);
+
+  // Identical physics (the architecture only affects the control path)...
+  EXPECT_EQ(host_outcome.batch.fingerprint(), fpga_outcome.batch.fingerprint());
+  // ...but the host-mediated path pays the two link hops every round.
+  EXPECT_GT(host_outcome.arch_overhead_us, fpga_outcome.arch_overhead_us);
+  EXPECT_GT(fpga_outcome.arch_overhead_us, 0.0);
+  // The spec is part of the identity fingerprint, so the two differ there.
+  EXPECT_NE(host_outcome.fingerprint, fpga_outcome.fingerprint);
+}
+
+TEST(CampaignReport, CsvAndJsonWritersEmitEveryScenario) {
+  scenario::CampaignConfig config;
+  config.workers = 2;
+  ScenarioSpec spec = tiny_spec();
+  spec.tags = {"smoke"};
+  const scenario::CampaignReport report = scenario::CampaignRunner(config).run({spec});
+
+  std::ostringstream csv;
+  scenario::write_csv(report, csv);
+  const std::string csv_text = csv.str();
+  EXPECT_NE(csv_text.find("scenario,grid,target"), std::string::npos);
+  EXPECT_NE(csv_text.find("tiny"), std::string::npos);
+
+  std::ostringstream json;
+  scenario::write_json(report, json);
+  const std::string json_text = json.str();
+  EXPECT_NE(json_text.find("\"name\": \"tiny\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"fingerprint\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qrm
