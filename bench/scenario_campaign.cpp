@@ -1,10 +1,19 @@
-// Campaign throughput: scenarios/sec of the smoke registry subset as a
-// function of worker count, plus google-benchmark timings of the scenario
-// plumbing itself (parse + sweep expansion), which must stay negligible
-// next to planning. The table doubles as a determinism check: the campaign
-// fingerprint column must not vary with the worker count.
+// Campaign throughput: the smoke registry subset across the shards ×
+// workers axis, a plan-cache A/B on Pattern workloads, and
+// google-benchmark timings of the scenario plumbing itself (parse + sweep
+// expansion), which must stay negligible next to planning. The tables
+// double as determinism checks: the campaign fingerprint column must not
+// vary with the worker count, the shard count, or the cache mode.
+//
+// Writes machine-readable BENCH_scenario.json (override with --out PATH)
+// and exits non-zero if the plan cache fails its acceptance bar on Pattern
+// scenarios: >0 hit rate and cache-on wall time strictly below cache-off.
 
+#include <cstring>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "batch/thread_pool.hpp"
 #include "bench_common.hpp"
@@ -23,33 +32,135 @@ std::vector<std::uint32_t> worker_sweep() {
   return sweep;
 }
 
-void print_table() {
-  print_header("Scenario campaign throughput — smoke registry vs worker count",
+struct AxisPoint {
+  std::uint32_t shards = 1;
+  std::uint32_t workers = 1;
+  double wall_us = 0.0;
+  double shots_per_sec = 0.0;
+  double cache_hit_rate = 0.0;
+  std::uint64_t fingerprint = 0;
+};
+
+std::vector<AxisPoint> bench_shard_axis() {
+  print_header("Scenario campaign throughput — smoke registry, shards x workers",
                "ROADMAP north star: scenario diversity at production scale");
 
-  TextTable table({"workers", "scenarios", "shots", "wall", "shots/s", "speedup",
-                   "fingerprint"});
+  std::vector<AxisPoint> points;
+  TextTable table({"shards", "workers", "scenarios", "shots", "wall", "shots/s", "speedup",
+                   "cache hit", "fingerprint"});
   double base_wall = 0.0;
-  for (const std::uint32_t workers : worker_sweep()) {
-    scenario::CampaignConfig config;
-    config.workers = workers;
-    config.filter = "smoke";
-    const scenario::CampaignReport report =
-        scenario::CampaignRunner(config).run(scenario::registry());
+  for (const std::uint32_t shards : {1u, 3u}) {
+    for (const std::uint32_t workers : worker_sweep()) {
+      scenario::CampaignConfig config;
+      config.workers = workers;
+      config.shards = shards;
+      config.filter = "smoke";
+      const scenario::CampaignReport report =
+          scenario::CampaignRunner(config).run(scenario::registry());
 
-    std::size_t shots = 0;
-    for (const scenario::ScenarioOutcome& outcome : report.scenarios)
-      shots += outcome.batch.shots.size();
-    if (workers == 1) base_wall = report.wall_us;
+      std::size_t shots = 0;
+      for (const scenario::ScenarioOutcome& outcome : report.scenarios)
+        shots += outcome.batch.shots.size();
+      if (points.empty()) base_wall = report.wall_us;
 
-    std::ostringstream fingerprint;
-    fingerprint << "0x" << std::hex << report.fingerprint();
-    table.add_row({std::to_string(report.workers), std::to_string(report.scenarios.size()),
-                   std::to_string(shots), fmt_time_us(report.wall_us),
-                   fmt_double(static_cast<double>(shots) / (report.wall_us * 1e-6)),
-                   fmt_speedup(base_wall / report.wall_us), fingerprint.str()});
+      AxisPoint point;
+      point.shards = shards;
+      point.workers = report.workers;
+      point.wall_us = report.wall_us;
+      point.shots_per_sec = static_cast<double>(shots) / (report.wall_us * 1e-6);
+      point.cache_hit_rate = report.plan_cache.hit_rate();
+      point.fingerprint = report.fingerprint();
+      points.push_back(point);
+
+      std::ostringstream fingerprint;
+      fingerprint << "0x" << std::hex << point.fingerprint;
+      table.add_row({std::to_string(shards), std::to_string(point.workers),
+                     std::to_string(report.scenarios.size()), std::to_string(shots),
+                     fmt_time_us(point.wall_us), fmt_double(point.shots_per_sec),
+                     fmt_speedup(base_wall / point.wall_us),
+                     fmt_percent(point.cache_hit_rate), fingerprint.str()});
+    }
   }
   std::printf("%s", table.render().c_str());
+  return points;
+}
+
+struct CacheAb {
+  double off_wall_us = 0.0;
+  double on_wall_us = 0.0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double hit_rate = 0.0;
+  bool fingerprints_match = false;
+
+  [[nodiscard]] double speedup() const { return on_wall_us > 0.0 ? off_wall_us / on_wall_us : 0.0; }
+};
+
+/// Pattern workloads replan the identical grid on every shot's first round
+/// — the cache's headline case. 32 shots of three 64x64 patterns makes
+/// planning dominate, so the A/B is robust to scheduling noise.
+CacheAb bench_plan_cache() {
+  std::vector<scenario::ScenarioSpec> specs;
+  for (const Pattern pattern : {Pattern::Checkerboard, Pattern::RowStripes, Pattern::Border}) {
+    scenario::ScenarioSpec spec;
+    spec.name = std::string("bench-pattern-") + scenario::to_cstring(pattern);
+    spec.load = scenario::LoadProfile::Pattern;
+    spec.pattern = pattern;
+    spec.grid_height = spec.grid_width = 64;
+    spec.shots = 32;
+    spec.max_rounds = 4;
+    specs.push_back(spec);
+  }
+
+  scenario::CampaignConfig config;
+  config.workers = batch::ThreadPool::resolve_workers(0);
+  CacheAb ab;
+  config.plan_cache = false;
+  const scenario::CampaignReport off = scenario::CampaignRunner(config).run(specs);
+  ab.off_wall_us = off.wall_us;
+  config.plan_cache = true;
+  const scenario::CampaignReport on = scenario::CampaignRunner(config).run(specs);
+  ab.on_wall_us = on.wall_us;
+  ab.hits = on.plan_cache.hits;
+  ab.misses = on.plan_cache.misses;
+  ab.hit_rate = on.plan_cache.hit_rate();
+  ab.fingerprints_match = off.fingerprint() == on.fingerprint();
+
+  print_header("Plan cache A/B — Pattern scenarios (identical per-shot grids)",
+               "ROADMAP: plan caching keyed on scenario fingerprint");
+  TextTable table({"cache", "wall", "speedup", "hits", "misses", "hit rate", "fingerprint ok"});
+  table.add_row({"off", fmt_time_us(ab.off_wall_us), "1.00x", "-", "-", "-", "-"});
+  table.add_row({"on", fmt_time_us(ab.on_wall_us), fmt_speedup(ab.speedup()),
+                 std::to_string(ab.hits), std::to_string(ab.misses), fmt_percent(ab.hit_rate),
+                 ab.fingerprints_match ? "yes" : "NO"});
+  std::printf("%s", table.render().c_str());
+  return ab;
+}
+
+void write_json(const std::string& path, const std::vector<AxisPoint>& axis,
+                const CacheAb& ab) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  os << "{\n";
+  os << "  \"bench\": \"scenario_campaign\",\n";
+  os << "  \"shard_axis\": [\n";
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    const AxisPoint& p = axis[i];
+    os << "    {\"shards\": " << p.shards << ", \"workers\": " << p.workers
+       << ", \"wall_us\": " << p.wall_us << ", \"shots_per_sec\": " << p.shots_per_sec
+       << ", \"cache_hit_rate\": " << p.cache_hit_rate << ", \"fingerprint\": \"0x" << std::hex
+       << p.fingerprint << std::dec << "\"}" << (i + 1 < axis.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"plan_cache\": {\"workload\": \"3x pattern 64x64, 32 shots\", \"cache_off_wall_us\": "
+     << ab.off_wall_us << ", \"cache_on_wall_us\": " << ab.on_wall_us
+     << ", \"speedup\": " << ab.speedup() << ", \"hits\": " << ab.hits
+     << ", \"misses\": " << ab.misses << ", \"hit_rate\": " << ab.hit_rate
+     << ", \"fingerprints_match\": " << (ab.fingerprints_match ? "true" : "false") << "}\n";
+  os << "}\n";
 }
 
 void BM_ParseRegistryEntry(benchmark::State& state) {
@@ -86,7 +197,47 @@ BENCHMARK(BM_SmokeScenarioEndToEnd)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecon
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
+  std::string out_path = "BENCH_scenario.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[i + 1];
+      // Hide the flag from google-benchmark's own argv scan.
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+
+  const std::vector<AxisPoint> axis = bench_shard_axis();
+  const CacheAb ab = bench_plan_cache();
+  write_json(out_path, axis, ab);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
   run_benchmarks(argc, argv);
-  return 0;
+
+  // Acceptance bar: the shard axis must agree on one fingerprint, and the
+  // cache must both hit and win wall time on Pattern scenarios. Checked
+  // after the JSON write so a failure still uploads the numbers.
+  bool ok = true;
+  for (const AxisPoint& p : axis) {
+    if (p.fingerprint != axis.front().fingerprint) {
+      std::fprintf(stderr, "FAIL: fingerprint varies across the shards x workers axis\n");
+      ok = false;
+      break;
+    }
+  }
+  if (!ab.fingerprints_match) {
+    std::fprintf(stderr, "FAIL: plan cache changed the campaign fingerprint\n");
+    ok = false;
+  }
+  if (ab.hits == 0) {
+    std::fprintf(stderr, "FAIL: plan cache never hit on Pattern scenarios\n");
+    ok = false;
+  }
+  if (ab.on_wall_us >= ab.off_wall_us) {
+    std::fprintf(stderr, "FAIL: cache-on wall %.1f us not below cache-off %.1f us\n",
+                 ab.on_wall_us, ab.off_wall_us);
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }

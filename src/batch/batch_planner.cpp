@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "baselines/algorithm.hpp"
+#include "batch/plan_cache.hpp"
 #include "batch/thread_pool.hpp"
 #include "core/planner.hpp"
 #include "loading/loader.hpp"
@@ -34,13 +35,8 @@ constexpr std::uint64_t kLossDomain = 0x10550000;
 
 void mix(std::uint64_t& hash, std::uint64_t value) noexcept { fnv::mix_u64(hash, value); }
 
-void mix_grid(std::uint64_t& hash, const OccupancyGrid& grid) noexcept {
-  mix(hash, static_cast<std::uint64_t>(grid.height()));
-  mix(hash, static_cast<std::uint64_t>(grid.width()));
-  for (std::int32_t r = 0; r < grid.height(); ++r) {
-    for (const BitRow::Word word : grid.row(r).words()) mix(hash, word);
-  }
-}
+// Grid mixing lives in plan_cache.cpp (batch::mix_grid) so the report
+// fingerprint and the cache key share one byte order.
 
 void mix_schedule(std::uint64_t& hash, const Schedule& schedule) noexcept {
   mix(hash, schedule.size());
@@ -191,6 +187,20 @@ ShotResult BatchPlanner::run_shot(std::uint32_t shot, const OccupancyGrid* captu
       PlanResult plan = algorithm->plan(state, target);
       plan_us += watch.elapsed_microseconds();
       return plan;
+    };
+  }
+
+  // Plan memoisation: intercept each round's plan with a cache lookup. On a
+  // hit the planner is skipped entirely (no plan_us accrues — that is the
+  // point); on a miss the cold plan is computed, timed, and inserted. Hits
+  // are bit-equal to cold plans (PlanCache's contract), so outcome fields
+  // and fingerprints are identical with the cache on or off.
+  if (config_.plan_cache) {
+    plan_round = [cache = config_.plan_cache,
+                  key = PlanCache::config_key(config_.algorithm, config_.plan),
+                  cold = std::move(plan_round)](const OccupancyGrid& state) {
+      if (const std::shared_ptr<const PlanResult> hit = cache->find(key, state)) return *hit;
+      return *cache->insert(key, state, cold(state));
     };
   }
 

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,8 @@
 #include "runtime/rearrangement_loop.hpp"
 
 namespace qrm::batch {
+
+class PlanCache;
 
 struct BatchConfig {
   QrmConfig plan;  ///< target + planner settings (honoured fully for "qrm")
@@ -54,6 +57,12 @@ struct BatchConfig {
   rt::LossModel loss;              ///< master loss model; shots derive streams
   std::uint32_t max_rounds = 10;   ///< lossy-loop round budget per shot
   bool keep_schedules = false;     ///< retain per-round schedules per shot
+
+  /// Optional shared plan memoisation (see plan_cache.hpp). Null = off.
+  /// Sharing one cache across batches/scenarios is what lets repeated
+  /// sweep cells and Pattern shots skip plan_qrm; hits are bit-equal to
+  /// cold plans, so every outcome field and fingerprint is unchanged.
+  std::shared_ptr<PlanCache> plan_cache;
 };
 
 /// Outcome of one shot. All fields except the `*_us` timings are

@@ -1,0 +1,113 @@
+#include "batch/plan_cache.hpp"
+
+#include <utility>
+
+#include "util/fnv.hpp"
+
+namespace qrm::batch {
+
+PlanCacheStats& PlanCacheStats::operator+=(const PlanCacheStats& other) noexcept {
+  hits += other.hits;
+  misses += other.misses;
+  evictions += other.evictions;
+  entries += other.entries;
+  return *this;
+}
+
+void mix_grid(std::uint64_t& hash, const OccupancyGrid& grid) noexcept {
+  fnv::mix_u64(hash, static_cast<std::uint64_t>(grid.height()));
+  fnv::mix_u64(hash, static_cast<std::uint64_t>(grid.width()));
+  for (std::int32_t r = 0; r < grid.height(); ++r) {
+    for (const BitRow::Word word : grid.row(r).words()) fnv::mix_u64(hash, word);
+  }
+}
+
+PlanCache::PlanCache(PlanCacheConfig config) : config_(config) {
+  if (config_.max_entries == 0) config_.max_entries = 1;
+}
+
+std::uint64_t PlanCache::config_key(const std::string& algorithm,
+                                    const QrmConfig& plan) noexcept {
+  std::uint64_t hash = fnv::kOffset;
+  fnv::mix_text(hash, algorithm);
+  fnv::mix_u64(hash, static_cast<std::uint64_t>(plan.target.row0));
+  fnv::mix_u64(hash, static_cast<std::uint64_t>(plan.target.col0));
+  fnv::mix_u64(hash, static_cast<std::uint64_t>(plan.target.rows));
+  fnv::mix_u64(hash, static_cast<std::uint64_t>(plan.target.cols));
+  fnv::mix_u64(hash, static_cast<std::uint64_t>(plan.mode));
+  fnv::mix_u64(hash, static_cast<std::uint64_t>(plan.max_iterations));
+  fnv::mix_u64(hash, plan.merge_quadrants ? 1 : 0);
+  fnv::mix_u64(hash, plan.aod_legalize ? 1 : 0);
+  fnv::mix_u64(hash, static_cast<std::uint64_t>(plan.sen_limit));
+  return hash;
+}
+
+std::uint64_t PlanCache::cell_key(std::uint64_t config_key,
+                                  const OccupancyGrid& grid) noexcept {
+  std::uint64_t hash = config_key;
+  mix_grid(hash, grid);
+  return hash;
+}
+
+std::shared_ptr<const PlanResult> PlanCache::find(std::uint64_t config_key,
+                                                  const OccupancyGrid& grid) const {
+  const std::uint64_t key = cell_key(config_key, grid);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto bucket = cells_.find(key);
+  if (bucket != cells_.end()) {
+    for (const Entry& entry : bucket->second) {
+      if (entry.grid == grid) {
+        ++stats_.hits;
+        return entry.plan;
+      }
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+std::shared_ptr<const PlanResult> PlanCache::insert(std::uint64_t config_key,
+                                                    const OccupancyGrid& grid, PlanResult plan) {
+  const std::uint64_t key = cell_key(config_key, grid);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry>& bucket = cells_[key];
+  for (const Entry& entry : bucket) {
+    if (entry.grid == grid) return entry.plan;  // concurrent planner got here first
+  }
+  auto inserted = std::make_shared<const PlanResult>(std::move(plan));
+  bucket.push_back({grid, inserted});
+  insertion_order_.push_back(key);
+  ++entries_;
+
+  // FIFO eviction. May evict the entry just inserted (max_entries == 1 with
+  // distinct cells) — the caller's shared_ptr keeps the plan alive either
+  // way, so `inserted` is returned, not a bucket lookup.
+  while (entries_ > config_.max_entries) {
+    const std::uint64_t oldest = insertion_order_.front();
+    insertion_order_.pop_front();
+    const auto victim = cells_.find(oldest);
+    if (victim == cells_.end() || victim->second.empty()) continue;
+    victim->second.erase(victim->second.begin());
+    if (victim->second.empty()) cells_.erase(victim);
+    --entries_;
+    ++stats_.evictions;
+  }
+  return inserted;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PlanCacheStats snapshot = stats_;
+  snapshot.entries = entries_;
+  return snapshot;
+}
+
+void PlanCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cells_.clear();
+  insertion_order_.clear();
+  entries_ = 0;
+  stats_ = {};
+}
+
+}  // namespace qrm::batch

@@ -1,0 +1,112 @@
+#pragma once
+/// \file plan_cache.hpp
+/// Content-addressed cache of PlanResults, shared across shots and
+/// scenarios.
+///
+/// Every planner in the repo is a pure function of (planner configuration,
+/// occupancy grid) — the rt::PlanFn contract — so a plan computed once can
+/// be spliced into any later round that sees the same configuration and the
+/// same grid. The cases that actually recur in campaigns: Pattern scenarios
+/// replan the exact same deterministic grid on every shot's first round,
+/// and sweep matrices repeat identical (spec axes, workload) cells.
+///
+/// Correctness contract: a hit returns a PlanResult bit-equal to what a
+/// cold plan would produce (the key includes the *full grid content*, and
+/// entries whose 64-bit key collides are disambiguated by grid equality —
+/// a hash collision can never substitute a wrong plan). Outcome
+/// fingerprints are therefore identical with the cache on or off; this is
+/// pinned by plan_cache_test and the 50-seed property in property_test.
+///
+/// Stats note: hit/miss counts depend on which concurrent shot planned a
+/// grid first, so PlanCacheStats is measurement (like wall-clock), not
+/// outcome — it is excluded from every fingerprint and from deterministic
+/// report artifacts.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "lattice/grid.hpp"
+
+namespace qrm::batch {
+
+struct PlanCacheConfig {
+  /// Entry cap; the oldest insertion is evicted when full (FIFO — plans
+  /// recur shot-to-shot, so recency tracking buys little here).
+  std::size_t max_entries = 1u << 14;
+};
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t lookups = hits + misses;
+    return lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0;
+  }
+
+  /// Combine shard- or scenario-level counters into campaign totals.
+  PlanCacheStats& operator+=(const PlanCacheStats& other) noexcept;
+};
+
+/// Mix an occupancy grid (dims + words) into an FNV-1a hash. Exactly the
+/// byte order BatchReport::fingerprint uses for grids, exposed so the two
+/// never diverge.
+void mix_grid(std::uint64_t& hash, const OccupancyGrid& grid) noexcept;
+
+/// Thread-safe plan memoisation keyed on (planner-config key, grid).
+class PlanCache {
+ public:
+  explicit PlanCache(PlanCacheConfig config = {});
+
+  /// The key prefix of one planner configuration: every axis that can
+  /// change a plan's output (algorithm name, target, mode, iteration cap,
+  /// merge/legalize toggles, sen gate). The shot seed is deliberately NOT
+  /// part of the key — a plan depends on the seed only through the grid it
+  /// generated, and folding the seed in would stop Pattern shots (identical
+  /// grids, distinct seeds) from ever sharing an entry.
+  [[nodiscard]] static std::uint64_t config_key(const std::string& algorithm,
+                                                const QrmConfig& plan) noexcept;
+
+  /// Look up a plan; null on miss. The returned pointer stays valid after
+  /// eviction (entries are shared_ptr-owned).
+  [[nodiscard]] std::shared_ptr<const PlanResult> find(std::uint64_t config_key,
+                                                       const OccupancyGrid& grid) const;
+
+  /// Insert a plan computed for (config_key, grid). If a concurrent shot
+  /// already inserted the same cell, the existing entry wins (both are
+  /// bit-equal by the purity contract) — insert never replaces.
+  std::shared_ptr<const PlanResult> insert(std::uint64_t config_key, const OccupancyGrid& grid,
+                                           PlanResult plan);
+
+  [[nodiscard]] PlanCacheStats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    OccupancyGrid grid;  ///< full content, so a hit is provably exact
+    std::shared_ptr<const PlanResult> plan;
+  };
+
+  [[nodiscard]] static std::uint64_t cell_key(std::uint64_t config_key,
+                                              const OccupancyGrid& grid) noexcept;
+
+  PlanCacheConfig config_;
+  mutable std::mutex mutex_;
+  /// Buckets keyed by the 64-bit cell key; colliding grids chain within a
+  /// bucket and are resolved by grid equality.
+  std::unordered_map<std::uint64_t, std::vector<Entry>> cells_;
+  std::deque<std::uint64_t> insertion_order_;  ///< cell keys, for FIFO eviction
+  std::size_t entries_ = 0;
+  mutable PlanCacheStats stats_;
+};
+
+}  // namespace qrm::batch

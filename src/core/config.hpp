@@ -57,6 +57,8 @@ struct PassInfo {
   std::size_t lines_with_motion = 0;  ///< line assignments emitted
   std::size_t unit_rounds = 0;        ///< single-step shift rounds executed
   std::size_t atoms_moved = 0;
+
+  friend bool operator==(const PassInfo&, const PassInfo&) = default;
 };
 
 struct PlanStats {
@@ -65,12 +67,18 @@ struct PlanStats {
   std::int64_t defects_remaining = 0;
   bool feasible = true;  ///< balanced mode: demand was satisfiable
   std::vector<PassInfo> passes;
+
+  friend bool operator==(const PlanStats&, const PlanStats&) = default;
 };
 
 struct PlanResult {
   Schedule schedule;
   OccupancyGrid final_grid;
   PlanStats stats;
+
+  /// Bit-level equality over every field — what "a cache hit is
+  /// indistinguishable from a cold plan" means (batch::PlanCache).
+  friend bool operator==(const PlanResult&, const PlanResult&) = default;
 };
 
 }  // namespace qrm

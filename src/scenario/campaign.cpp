@@ -1,8 +1,16 @@
 #include "scenario/campaign.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <exception>
+#include <future>
+#include <limits>
+#include <memory>
 #include <sstream>
+#include <utility>
 
+#include "batch/thread_pool.hpp"
 #include "util/assert.hpp"
 #include "util/csv.hpp"
 #include "util/fnv.hpp"
@@ -44,65 +52,27 @@ std::string json_escape(const std::string& text) {
   return escaped;
 }
 
-}  // namespace
-
-std::uint64_t CampaignReport::fingerprint() const noexcept {
-  std::uint64_t hash = fnv::kOffset;
-  fnv::mix_u64(hash, scenarios.size());
-  for (const ScenarioOutcome& outcome : scenarios) fnv::mix_u64(hash, outcome.fingerprint);
-  return hash;
+/// Pre-drawn workloads for every non-Uniform profile, with the same
+/// per-shot seed stream the generated path would use. Generation is
+/// deliberately serial and outside any stopwatch: determinism is trivial,
+/// and drawing a grid is cheap next to planning it.
+std::vector<OccupancyGrid> capture_workloads(const ScenarioSpec& spec) {
+  std::vector<OccupancyGrid> captured;
+  captured.reserve(spec.shots);
+  for (std::uint32_t shot = 0; shot < spec.shots; ++shot)
+    captured.push_back(generate_workload(spec, derive_seed(spec.seed, shot)));
+  return captured;
 }
 
-batch::BatchConfig to_batch_config(const ScenarioSpec& spec, std::uint32_t workers,
-                                   bool keep_schedules) {
-  batch::BatchConfig config;
-  config.plan.target = spec.target_region();
-  config.plan.mode = spec.mode;
-  config.algorithm = spec.algorithm;
-  config.shots = spec.shots;
-  config.workers = workers;
-  config.master_seed = spec.seed;
-  config.grid_height = spec.grid_height;
-  config.grid_width = spec.grid_width;
-  config.fill = spec.fill;  // only the Uniform generated path draws from it
-  config.loss.per_move_loss = spec.per_move_loss;
-  config.loss.background_loss = spec.background_loss;
-  config.max_rounds = spec.max_rounds;
-  config.keep_schedules = keep_schedules;
-  return config;
-}
-
-CampaignRunner::CampaignRunner(CampaignConfig config) : config_(std::move(config)) {}
-
-ScenarioOutcome CampaignRunner::run_one(const ScenarioSpec& spec) const {
-  validate(spec);
-
+/// SortedSample aggregation + architecture model + fingerprint: everything
+/// downstream of the raw per-shot results. Shared by the sequential and
+/// fan-out paths so both produce identical outcomes by construction.
+ScenarioOutcome finalize_outcome(const ScenarioSpec& spec, std::size_t index,
+                                 batch::BatchReport batch) {
   ScenarioOutcome outcome;
+  outcome.index = index;
   outcome.spec = spec;
-
-  const batch::BatchConfig config =
-      to_batch_config(spec, config_.workers, config_.keep_schedules);
-  const batch::BatchPlanner planner(config);
-  if (spec.load == LoadProfile::Uniform) {
-    // The generated path draws exactly this scenario's workload (Bernoulli
-    // with per-shot derived seeds); using it keeps scenario runs
-    // bit-identical with hand-built BatchPlanner sweeps like the old
-    // batch_campaign binary.
-    outcome.batch = planner.run();
-  } else {
-    // Every other family is pre-drawn with the same per-shot seed stream
-    // the generated path would use, then replayed as a captured batch.
-    // Generation is deliberately serial and outside the batch stopwatch:
-    // determinism is trivial, and drawing a grid is cheap next to planning
-    // it — so shots_per_sec measures the pipeline, not the workload
-    // generator. (Parallel generation is a ROADMAP item under sharded
-    // campaign execution.)
-    std::vector<OccupancyGrid> captured;
-    captured.reserve(spec.shots);
-    for (std::uint32_t shot = 0; shot < spec.shots; ++shot)
-      captured.push_back(generate_workload(spec, derive_seed(spec.seed, shot)));
-    outcome.batch = planner.run(captured);
-  }
+  outcome.batch = std::move(batch);
 
   // --- SortedSample aggregation over the deterministic columns ------------
   std::vector<double> rounds;
@@ -155,31 +125,264 @@ ScenarioOutcome CampaignRunner::run_one(const ScenarioSpec& spec) const {
   return outcome;
 }
 
+}  // namespace
+
+std::uint64_t CampaignReport::fingerprint() const noexcept {
+  std::uint64_t hash = fnv::kOffset;
+  fnv::mix_u64(hash, scenarios.size());
+  for (const ScenarioOutcome& outcome : scenarios) fnv::mix_u64(hash, outcome.fingerprint);
+  return hash;
+}
+
+std::uint32_t shard_of(const std::string& name, std::uint32_t shards) {
+  QRM_EXPECTS_MSG(shards >= 1, "shard_of needs a positive shard count");
+  return static_cast<std::uint32_t>(fnv::hash_text(name) % shards);
+}
+
+batch::BatchConfig to_batch_config(const ScenarioSpec& spec, std::uint32_t workers,
+                                   bool keep_schedules) {
+  batch::BatchConfig config;
+  config.plan.target = spec.target_region();
+  config.plan.mode = spec.mode;
+  config.algorithm = spec.algorithm;
+  config.shots = spec.shots;
+  config.workers = workers;
+  config.master_seed = spec.seed;
+  config.grid_height = spec.grid_height;
+  config.grid_width = spec.grid_width;
+  config.fill = spec.fill;  // only the Uniform generated path draws from it
+  config.imaged_detection = spec.imaged_detection;
+  config.imaging.photons_per_atom = spec.photons_per_atom;
+  config.detection.threshold_photons = spec.detection_threshold;
+  config.loss.per_move_loss = spec.per_move_loss;
+  config.loss.background_loss = spec.background_loss;
+  config.max_rounds = spec.max_rounds;
+  config.keep_schedules = keep_schedules;
+  return config;
+}
+
+CampaignRunner::CampaignRunner(CampaignConfig config) : config_(std::move(config)) {}
+
+ScenarioOutcome CampaignRunner::run_one(const ScenarioSpec& spec) const {
+  validate(spec);
+
+  batch::BatchConfig config = to_batch_config(spec, config_.workers, config_.keep_schedules);
+  if (config_.plan_cache) config.plan_cache = std::make_shared<batch::PlanCache>();
+  const batch::BatchPlanner planner(config);
+  batch::BatchReport batch;
+  if (spec.load == LoadProfile::Uniform) {
+    // The generated path draws exactly this scenario's workload (Bernoulli
+    // with per-shot derived seeds); using it keeps scenario runs
+    // bit-identical with hand-built BatchPlanner sweeps like the old
+    // batch_campaign binary.
+    batch = planner.run();
+  } else {
+    batch = planner.run(capture_workloads(spec));
+  }
+  return finalize_outcome(spec, 0, std::move(batch));
+}
+
+CampaignReport CampaignRunner::run_selected(const std::vector<const ScenarioSpec*>& selected,
+                                            const std::vector<std::size_t>& indices) const {
+  QRM_EXPECTS(selected.size() == indices.size());
+  CampaignReport report;
+  if (selected.empty()) {
+    // An empty shard: valid, merges as a no-op. Resolve the worker count
+    // without paying for an idle pool.
+    report.workers = batch::ThreadPool::resolve_workers(config_.workers);
+    return report;
+  }
+  for (const ScenarioSpec* spec : selected) validate(*spec);
+
+  std::shared_ptr<batch::PlanCache> cache;
+  if (config_.plan_cache) cache = std::make_shared<batch::PlanCache>();
+
+  // Per-scenario planners + pre-drawn workloads, built serially up front.
+  struct Prepared {
+    batch::BatchPlanner planner;
+    std::vector<OccupancyGrid> captured;  ///< empty for the Uniform generated path
+  };
+  std::vector<Prepared> prepared;
+  prepared.reserve(selected.size());
+  for (const ScenarioSpec* spec : selected) {
+    batch::BatchConfig config = to_batch_config(*spec, config_.workers, config_.keep_schedules);
+    config.plan_cache = cache;
+    prepared.push_back({batch::BatchPlanner(std::move(config)),
+                        spec->load == LoadProfile::Uniform ? std::vector<OccupancyGrid>{}
+                                                           : capture_workloads(*spec)});
+  }
+
+  // Two-level fan-out: every (scenario, shot) is one task on one pool, so
+  // a slow scenario no longer serialises the ones after it. Each task
+  // writes only its own slot; determinism comes from per-shot derived
+  // seeds, exactly as in BatchPlanner::run_impl.
+  report.scenarios.resize(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i)
+    report.scenarios[i].batch.shots.resize(selected[i]->shots);
+
+  // Per-scenario wall time in a shared pool is the makespan of that
+  // scenario's own tasks: span from its first shot starting to its last
+  // shot finishing (interleaved work from other scenarios is inside the
+  // span — that is what actually happened on the pool). Measurement only;
+  // never fingerprinted.
+  struct ScenarioTiming {
+    std::atomic<std::int64_t> first_start_us{std::numeric_limits<std::int64_t>::max()};
+    std::atomic<std::int64_t> last_end_us{0};
+  };
+  std::vector<ScenarioTiming> timings(selected.size());
+
+  Stopwatch wall;
+  {
+    batch::ThreadPool pool(config_.workers);
+    report.workers = pool.worker_count();
+
+    std::vector<std::vector<std::future<void>>> done(selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      done[i].reserve(selected[i]->shots);
+      for (std::uint32_t shot = 0; shot < selected[i]->shots; ++shot) {
+        done[i].push_back(pool.submit([this, i, shot, &prepared, &report, &timings, &wall] {
+          const Prepared& p = prepared[i];
+          const auto start = static_cast<std::int64_t>(wall.elapsed_microseconds());
+          report.scenarios[i].batch.shots[shot] =
+              p.planner.run_shot(shot, p.captured.empty() ? nullptr : &p.captured[shot]);
+          const auto end = static_cast<std::int64_t>(wall.elapsed_microseconds());
+          ScenarioTiming& timing = timings[i];
+          std::int64_t seen = timing.first_start_us.load(std::memory_order_relaxed);
+          while (start < seen &&
+                 !timing.first_start_us.compare_exchange_weak(seen, start,
+                                                              std::memory_order_relaxed)) {
+          }
+          seen = timing.last_end_us.load(std::memory_order_relaxed);
+          while (end > seen && !timing.last_end_us.compare_exchange_weak(
+                                   seen, end, std::memory_order_relaxed)) {
+          }
+        }));
+      }
+    }
+
+    // Wait for *every* shot before rethrowing, so no worker still writes
+    // into `report` after an early failure unwinds the stack.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < done.size(); ++i) {
+      for (std::future<void>& future : done[i]) {
+        try {
+          future.get();
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const std::int64_t start = timings[i].first_start_us.load(std::memory_order_relaxed);
+    const std::int64_t end = timings[i].last_end_us.load(std::memory_order_relaxed);
+    report.scenarios[i].batch.wall_us = end > start ? static_cast<double>(end - start) : 0.0;
+    report.scenarios[i].batch.workers = report.workers;
+  }
+
+  for (std::size_t i = 0; i < selected.size(); ++i)
+    report.scenarios[i] =
+        finalize_outcome(*selected[i], indices[i], std::move(report.scenarios[i].batch));
+
+  report.wall_us = wall.elapsed_microseconds();
+  if (cache) report.plan_cache = cache->stats();
+  return report;
+}
+
 CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& specs) const {
+  QRM_EXPECTS_MSG(config_.shards >= 1, "campaign shard count must be positive");
   std::vector<const ScenarioSpec*> selected;
   for (const ScenarioSpec& spec : specs)
     if (spec.matches_filter(config_.filter)) selected.push_back(&spec);
   QRM_EXPECTS_MSG(!selected.empty(),
                   "campaign filter '" + config_.filter + "' matches no scenarios");
 
-  CampaignReport report;
-  report.scenarios.reserve(selected.size());
-  Stopwatch wall;
-  for (const ScenarioSpec* spec : selected) {
-    report.scenarios.push_back(run_one(*spec));
-    report.workers = report.scenarios.back().batch.workers;
+  if (config_.shards == 1) {
+    std::vector<std::size_t> indices(selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) indices[i] = i;
+    return run_selected(selected, indices);
   }
-  report.wall_us = wall.elapsed_microseconds();
-  return report;
+
+  // In-process sharded mode: run every shard exactly as a fleet of
+  // independent processes would (per-shard pool and plan cache), then
+  // merge. Pinned bit-identical to the shards == 1 path by the test
+  // battery.
+  std::vector<CampaignReport> shard_reports;
+  shard_reports.reserve(config_.shards);
+  for (std::uint32_t shard = 0; shard < config_.shards; ++shard) {
+    std::vector<const ScenarioSpec*> subset;
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      if (shard_of(selected[i]->name, config_.shards) == shard) {
+        subset.push_back(selected[i]);
+        indices.push_back(i);
+      }
+    }
+    shard_reports.push_back(run_selected(subset, indices));
+  }
+  return merge_reports(std::move(shard_reports));
 }
 
-void write_csv(const CampaignReport& report, std::ostream& out) {
+CampaignReport CampaignRunner::run_shard(const std::vector<ScenarioSpec>& specs) const {
+  QRM_EXPECTS_MSG(config_.shards >= 1, "campaign shard count must be positive");
+  QRM_EXPECTS_MSG(config_.shard_index < config_.shards,
+                  "campaign shard_index must be below the shard count");
+  std::vector<const ScenarioSpec*> subset;
+  std::vector<std::size_t> indices;
+  std::size_t index = 0;
+  for (const ScenarioSpec& spec : specs) {
+    if (!spec.matches_filter(config_.filter)) continue;
+    if (shard_of(spec.name, config_.shards) == config_.shard_index) {
+      subset.push_back(&spec);
+      indices.push_back(index);
+    }
+    ++index;
+  }
+  // An empty *shard* is valid (the matrix just hashed elsewhere), but a
+  // filter matching nothing *anywhere* is the same silent-green-campaign
+  // bug run() guards against — every shard process would succeed with
+  // zero scenarios and the merge would happily produce an empty report.
+  QRM_EXPECTS_MSG(index > 0,
+                  "campaign filter '" + config_.filter + "' matches no scenarios");
+  return run_selected(subset, indices);
+}
+
+CampaignReport merge_reports(std::vector<CampaignReport> shards) {
+  CampaignReport merged;
+  for (CampaignReport& shard : shards) {
+    merged.workers = std::max(merged.workers, shard.workers);
+    merged.wall_us += shard.wall_us;
+    merged.plan_cache += shard.plan_cache;
+    for (ScenarioOutcome& outcome : shard.scenarios)
+      merged.scenarios.push_back(std::move(outcome));
+  }
+  std::sort(merged.scenarios.begin(), merged.scenarios.end(),
+            [](const ScenarioOutcome& a, const ScenarioOutcome& b) { return a.index < b.index; });
+  for (std::size_t i = 0; i < merged.scenarios.size(); ++i)
+    QRM_EXPECTS_MSG(merged.scenarios[i].index == i,
+                    "shard reports do not cover the scenario matrix exactly once");
+  return merged;
+}
+
+void write_csv(const CampaignReport& report, std::ostream& out, ReportMode mode) {
+  const bool full = mode == ReportMode::Full;
   CsvWriter csv(out);
-  csv.header({"scenario", "grid", "target", "load", "algorithm", "architecture", "shots",
-              "workers", "success_rate", "mean_fill_rate", "mean_rounds", "p90_rounds",
-              "total_commands", "p50_commands", "p90_commands", "arch_overhead_us",
-              "p50_plan_us", "p90_plan_us", "p50_execute_us", "shots_per_sec", "wall_ms",
-              "fingerprint"});
+  std::vector<std::string> header = {"index",        "scenario",  "grid",
+                                     "target",       "load",      "algorithm",
+                                     "architecture", "shots"};
+  if (full) header.push_back("workers");
+  for (const char* name : {"success_rate", "mean_fill_rate", "mean_rounds", "p90_rounds",
+                           "total_commands", "p50_commands", "p90_commands",
+                           "arch_overhead_us"})
+    header.push_back(name);
+  if (full)
+    for (const char* name :
+         {"p50_plan_us", "p90_plan_us", "p50_execute_us", "shots_per_sec", "wall_ms"})
+      header.push_back(name);
+  header.push_back("fingerprint");
+  csv.header(header);
+
   for (const ScenarioOutcome& outcome : report.scenarios) {
     const ScenarioSpec& spec = outcome.spec;
     const Region target = spec.target_region();
@@ -187,27 +390,62 @@ void write_csv(const CampaignReport& report, std::ostream& out) {
     grid << spec.grid_height << "x" << spec.grid_width;
     std::ostringstream target_text;
     target_text << target.rows << "x" << target.cols;
-    csv.row(spec.name, grid.str(), target_text.str(), to_cstring(spec.load), spec.algorithm,
-            arch_key(spec.architecture), outcome.batch.shots.size(), report.workers,
-            outcome.batch.success_rate(),
-            outcome.batch.mean_fill_rate(), outcome.mean_rounds, outcome.p90_rounds,
-            outcome.batch.total_commands(), outcome.p50_commands, outcome.p90_commands,
-            outcome.arch_overhead_us, outcome.p50_plan_us, outcome.p90_plan_us,
-            outcome.p50_execute_us, outcome.batch.shots_per_second(),
-            outcome.batch.wall_us / 1000.0, hex_fingerprint(outcome.fingerprint));
+
+    std::vector<std::string> cells;
+    const auto cell = [&cells](const auto& value) {
+      std::ostringstream os;
+      os << value;
+      cells.push_back(os.str());
+    };
+    cell(outcome.index);
+    cell(spec.name);
+    cell(grid.str());
+    cell(target_text.str());
+    cell(to_cstring(spec.load));
+    cell(spec.algorithm);
+    cell(arch_key(spec.architecture));
+    cell(outcome.batch.shots.size());
+    if (full) cell(report.workers);
+    cell(outcome.batch.success_rate());
+    cell(outcome.batch.mean_fill_rate());
+    cell(outcome.mean_rounds);
+    cell(outcome.p90_rounds);
+    cell(outcome.batch.total_commands());
+    cell(outcome.p50_commands);
+    cell(outcome.p90_commands);
+    cell(outcome.arch_overhead_us);
+    if (full) {
+      cell(outcome.p50_plan_us);
+      cell(outcome.p90_plan_us);
+      cell(outcome.p50_execute_us);
+      cell(outcome.batch.shots_per_second());
+      cell(outcome.batch.wall_us / 1000.0);
+    }
+    cell(hex_fingerprint(outcome.fingerprint));
+    csv.write_row(cells);
   }
 }
 
-void write_json(const CampaignReport& report, std::ostream& out) {
+void write_json(const CampaignReport& report, std::ostream& out, ReportMode mode) {
+  const bool full = mode == ReportMode::Full;
   out << "{\n";
-  out << "  \"workers\": " << report.workers << ",\n";
-  out << "  \"wall_ms\": " << report.wall_us / 1000.0 << ",\n";
+  out << "  \"report\": \"qrm-scenario-campaign\",\n";
+  out << "  \"mode\": \"" << (full ? "full" : "deterministic") << "\",\n";
+  if (full) {
+    out << "  \"workers\": " << report.workers << ",\n";
+    out << "  \"wall_ms\": " << report.wall_us / 1000.0 << ",\n";
+    out << "  \"plan_cache\": {\"hits\": " << report.plan_cache.hits
+        << ", \"misses\": " << report.plan_cache.misses
+        << ", \"hit_rate\": " << report.plan_cache.hit_rate() << "},\n";
+  }
+  out << "  \"scenario_count\": " << report.scenarios.size() << ",\n";
   out << "  \"fingerprint\": \"" << hex_fingerprint(report.fingerprint()) << "\",\n";
   out << "  \"scenarios\": [\n";
   for (std::size_t i = 0; i < report.scenarios.size(); ++i) {
     const ScenarioOutcome& outcome = report.scenarios[i];
     const ScenarioSpec& spec = outcome.spec;
     out << "    {\n";
+    out << "      \"index\": " << outcome.index << ",\n";
     out << "      \"name\": \"" << json_escape(spec.name) << "\",\n";
     out << "      \"description\": \"" << json_escape(spec.description) << "\",\n";
     out << "      \"load\": \"" << to_cstring(spec.load) << "\",\n";
@@ -220,8 +458,10 @@ void write_json(const CampaignReport& report, std::ostream& out) {
     out << "      \"mean_rounds\": " << outcome.mean_rounds << ",\n";
     out << "      \"total_commands\": " << outcome.batch.total_commands() << ",\n";
     out << "      \"arch_overhead_us\": " << outcome.arch_overhead_us << ",\n";
-    out << "      \"p50_plan_us\": " << outcome.p50_plan_us << ",\n";
-    out << "      \"p50_execute_us\": " << outcome.p50_execute_us << ",\n";
+    if (full) {
+      out << "      \"p50_plan_us\": " << outcome.p50_plan_us << ",\n";
+      out << "      \"p50_execute_us\": " << outcome.p50_execute_us << ",\n";
+    }
     out << "      \"fingerprint\": \"" << hex_fingerprint(outcome.fingerprint) << "\"\n";
     out << "    }" << (i + 1 < report.scenarios.size() ? "," : "") << "\n";
   }

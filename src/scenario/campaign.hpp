@@ -6,9 +6,18 @@
 /// Determinism guarantee, inherited from BatchPlanner and extended across
 /// scenarios: every outcome field of a CampaignReport — per-shot grids,
 /// counts, rates, per-scenario fingerprints, and the campaign fingerprint —
-/// is bit-identical for any worker count. Only wall-clock fields (`*_us`,
-/// `wall_us`, shots/sec) vary run to run; they are excluded from every
-/// fingerprint.
+/// is bit-identical for any worker count, any shard count, and with the
+/// plan cache on or off. Only measurement fields (`*_us`, `wall_us`,
+/// shots/sec, cache hit counts) vary run to run; they are excluded from
+/// every fingerprint and from ReportMode::Deterministic artifacts.
+///
+/// Sharding model: the filtered scenario matrix is partitioned by
+/// shard_of(name, shards) — a stable FNV-1a property of the scenario name,
+/// never of list order or timing — so independent processes can each run
+/// one shard (`scenario_runner run --shards N --shard-index i`) and the
+/// merged report (merge_reports, or the text-level mergers in
+/// report_merge.hpp) is bit-identical to a sequential 1-shard run. Every
+/// outcome carries its global matrix index for exactly this reassembly.
 
 #include <cstdint>
 #include <ostream>
@@ -16,18 +25,32 @@
 #include <vector>
 
 #include "batch/batch_planner.hpp"
+#include "batch/plan_cache.hpp"
 #include "scenario/spec.hpp"
 
 namespace qrm::scenario {
 
 struct CampaignConfig {
-  std::uint32_t workers = 0;    ///< batch pool size; 0 -> hardware_concurrency
+  std::uint32_t workers = 0;    ///< shot pool size; 0 -> hardware_concurrency
   std::string filter;           ///< scenario name-substring / tag filter
   bool keep_schedules = false;  ///< retain per-round schedules per shot
+  /// Shard count over the filtered matrix. 1 = unsharded. run() with
+  /// shards > 1 executes every shard in-process and merges; run_shard()
+  /// executes only shard_index (the multi-process mode).
+  std::uint32_t shards = 1;
+  std::uint32_t shard_index = 0;  ///< which shard run_shard() executes
+  /// Share one batch::PlanCache across the scenarios of a run (per shard,
+  /// matching what independent shard processes would see). Outcomes are
+  /// bit-identical either way; Pattern scenarios and repeated sweep cells
+  /// skip replanning when on.
+  bool plan_cache = true;
 };
 
 /// One scenario's batch outcome plus its SortedSample aggregation.
 struct ScenarioOutcome {
+  /// Position in the filtered scenario matrix — the key that lets shard
+  /// reports merge back into sequential order.
+  std::size_t index = 0;
   ScenarioSpec spec;
   batch::BatchReport batch;
 
@@ -56,18 +79,27 @@ struct ScenarioOutcome {
 
 struct CampaignReport {
   std::vector<ScenarioOutcome> scenarios;
-  std::uint32_t workers = 0;  ///< pool size actually used per batch
+  std::uint32_t workers = 0;  ///< pool size actually used
   double wall_us = 0.0;       ///< end-to-end campaign wall time
+  /// Plan-cache counters for the run (measurement: hit/miss split depends
+  /// on scheduling; zeros when the cache is off).
+  batch::PlanCacheStats plan_cache;
 
   /// Order-sensitive combination of the per-scenario fingerprints. Two
   /// campaigns over the same scenario list must agree here regardless of
-  /// worker count.
+  /// worker count, shard count, or cache mode.
   [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 };
 
+/// Deterministic shard assignment: fnv::hash_text(name) % shards. Stable
+/// across processes and releases — renaming a scenario is the only way to
+/// move it between shards.
+[[nodiscard]] std::uint32_t shard_of(const std::string& name, std::uint32_t shards);
+
 /// The exact BatchConfig a scenario runs as. Exposed so tests (and anyone
 /// porting a hand-coded sweep binary) can prove the scenario path is
-/// bit-identical to driving BatchPlanner directly.
+/// bit-identical to driving BatchPlanner directly. The plan cache is not
+/// set here — CampaignRunner attaches its shared cache afterwards.
 [[nodiscard]] batch::BatchConfig to_batch_config(const ScenarioSpec& spec, std::uint32_t workers,
                                                  bool keep_schedules = false);
 
@@ -80,19 +112,48 @@ class CampaignRunner {
   /// Run one scenario (validated first; the config filter is not applied).
   [[nodiscard]] ScenarioOutcome run_one(const ScenarioSpec& spec) const;
 
-  /// Run every scenario matching the config filter, in order. Throws
-  /// PreconditionError when the filter matches nothing — a silently empty
-  /// campaign would read as a green CI run.
+  /// Run every scenario matching the config filter. Scenarios × shots fan
+  /// out across one ThreadPool (two-level parallelism: a slow scenario no
+  /// longer serialises the ones after it). With config.shards > 1, every
+  /// shard runs in-process and the reports are merged — bit-identical to
+  /// the shards == 1 path. Throws PreconditionError when the filter
+  /// matches nothing — a silently empty campaign would read as a green CI
+  /// run.
   [[nodiscard]] CampaignReport run(const std::vector<ScenarioSpec>& specs) const;
 
+  /// Run only shard config.shard_index of the filtered matrix (the
+  /// multi-process mode). Unlike run(), an empty shard is a valid result —
+  /// its report has no scenarios and merges as a no-op.
+  [[nodiscard]] CampaignReport run_shard(const std::vector<ScenarioSpec>& specs) const;
+
  private:
+  /// The fan-out core: run `selected` (paired with global matrix indices)
+  /// as scenarios × shots tasks on one pool.
+  [[nodiscard]] CampaignReport run_selected(const std::vector<const ScenarioSpec*>& selected,
+                                            const std::vector<std::size_t>& indices) const;
+
   CampaignConfig config_;
 };
 
-/// One CSV row per scenario (see implementation for the column list).
-void write_csv(const CampaignReport& report, std::ostream& out);
+/// Merge per-shard reports back into canonical matrix order. Outcome
+/// indices across the shards must form exactly 0..N-1 (throws otherwise);
+/// wall time and cache counters sum, the campaign fingerprint is
+/// recomputed and equals the sequential run's.
+[[nodiscard]] CampaignReport merge_reports(std::vector<CampaignReport> shards);
+
+/// Which columns/fields the report writers emit. Deterministic drops every
+/// measurement field (workers, wall, `*_us` timings, shots/sec, cache
+/// counters), leaving only worker/shard/cache-invariant content — the mode
+/// whose artifacts are byte-comparable across runs and whose shard files
+/// the report_merge.hpp mergers accept.
+enum class ReportMode : std::uint8_t { Full, Deterministic };
+
+/// One CSV row per scenario, led by the global matrix index.
+void write_csv(const CampaignReport& report, std::ostream& out,
+               ReportMode mode = ReportMode::Full);
 
 /// The same content as a JSON document, for tooling that wants structure.
-void write_json(const CampaignReport& report, std::ostream& out);
+void write_json(const CampaignReport& report, std::ostream& out,
+                ReportMode mode = ReportMode::Full);
 
 }  // namespace qrm::scenario

@@ -146,6 +146,23 @@ std::vector<ScenarioSpec> build_registry() {
     scenarios.push_back(spec);
   }
   {
+    // Detection-error regime: the full Fig. 1 workflow with a noisy camera.
+    // 24 photons/atom against ~4 background is marginal on purpose, so the
+    // automatic threshold misclassifies a few sites per shot and the
+    // planner works from an imperfect occupancy matrix.
+    ScenarioSpec spec;
+    spec.name = "imaged-detection";
+    spec.description = "plans on detected occupancy from noisy rendered frames, not ground truth";
+    spec.tags = {"smoke", "detection"};
+    spec.grid_height = spec.grid_width = 24;
+    spec.fill = 0.6;
+    spec.imaged_detection = true;
+    spec.photons_per_atom = 24.0;
+    spec.shots = 8;
+    spec.max_rounds = 6;
+    scenarios.push_back(spec);
+  }
+  {
     // Production-scale stress point: ~36k traps. Deliberately not tagged
     // "smoke" - minutes, not seconds.
     ScenarioSpec spec;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <map>
 #include <set>
@@ -25,6 +26,9 @@ namespace {
 constexpr std::int64_t kMaxGridSide = 16384;
 constexpr std::int64_t kMaxClusters = 4096;
 constexpr std::int64_t kMaxCount = 1'000'000;
+/// Photon-count sanity cap (imaged detection): a real camera pixel well
+/// saturates around 1e5 electrons; 1e9 per atom is far past physical.
+constexpr double kMaxPhotons = 1e9;
 
 std::string trim(const std::string& s) {
   const auto first = s.find_first_not_of(" \t\r");
@@ -218,6 +222,14 @@ void validate(const ScenarioSpec& spec) {
   QRM_EXPECTS_MSG(spec.shots <= kMaxCount, "scenario shots exceeds the sanity cap");
   QRM_EXPECTS_MSG(spec.max_rounds > 0, "scenario max_rounds must be positive");
   QRM_EXPECTS_MSG(spec.max_rounds <= kMaxCount, "scenario max_rounds exceeds the sanity cap");
+  QRM_EXPECTS_MSG(std::isfinite(spec.photons_per_atom) && spec.photons_per_atom > 0.0 &&
+                      spec.photons_per_atom <= kMaxPhotons,
+                  "scenario photons_per_atom must be positive and finite");
+  QRM_EXPECTS_MSG(spec.detection_threshold == -1.0 ||
+                      (std::isfinite(spec.detection_threshold) &&
+                       spec.detection_threshold >= 0.0 &&
+                       spec.detection_threshold <= kMaxPhotons),
+                  "scenario detection_threshold must be -1 (auto) or a finite photon count");
   // Unknown algorithm names throw here, with the registry's own message.
   (void)baselines::make_algorithm(spec.algorithm);
 }
@@ -291,6 +303,14 @@ std::string serialize(const ScenarioSpec& spec) {
   os << "mode=" << to_cstring(spec.mode) << "\n";
   os << "algorithm=" << spec.algorithm << "\n";
   os << "architecture=" << arch_key(spec.architecture) << "\n";
+  if (spec.imaged_detection) {
+    os << "imaged_detection=true\n";
+    os << "photons_per_atom=" << format_double(spec.photons_per_atom) << "\n";
+    if (spec.detection_threshold < 0.0)
+      os << "detection_threshold=auto\n";
+    else
+      os << "detection_threshold=" << format_double(spec.detection_threshold) << "\n";
+  }
   os << "shots=" << spec.shots << "\n";
   {
     std::ostringstream hex;
@@ -385,6 +405,14 @@ ScenarioSpec parse_lines(const std::vector<SpecLine>& lines) {
           std::vector<std::pair<std::string, rt::Architecture>>{
               {arch_key(rt::Architecture::FpgaIntegrated), rt::Architecture::FpgaIntegrated},
               {arch_key(rt::Architecture::HostMediated), rt::Architecture::HostMediated}});
+    } else if (key == "imaged_detection") {
+      if (value != "true" && value != "false")
+        parse_fail("key '" + key + "': expected true|false, got '" + value + "'");
+      spec.imaged_detection = value == "true";
+    } else if (key == "photons_per_atom") {
+      spec.photons_per_atom = parse_double(key, value);
+    } else if (key == "detection_threshold") {
+      spec.detection_threshold = value == "auto" ? -1.0 : parse_double(key, value);
     } else if (key == "shots") {
       spec.shots = static_cast<std::uint32_t>(parse_bounded(key, value, 1, kMaxCount));
     } else if (key == "seed") {
@@ -405,6 +433,13 @@ ScenarioSpec parse_lines(const std::vector<SpecLine>& lines) {
     if (seen.count(key) > 0 && profiles.count(spec.load) == 0)
       parse_fail("key '" + key + "' does not apply to load=" +
                  std::string(to_cstring(spec.load)));
+  }
+  // Imaging keys are gated the same way, on imaged_detection rather than
+  // the load profile: a stray photons_per_atom in a perfect-detection spec
+  // is a spec bug, not a silent default.
+  for (const char* key : {"photons_per_atom", "detection_threshold"}) {
+    if (seen.count(key) > 0 && !spec.imaged_detection)
+      parse_fail("key '" + std::string(key) + "' requires imaged_detection=true");
   }
   validate(spec);
   return spec;

@@ -71,6 +71,18 @@ struct ScenarioSpec {
   PlanMode mode = PlanMode::Balanced;
   std::string algorithm = "qrm";    ///< baselines::algorithm_names() entry
   rt::Architecture architecture = rt::Architecture::FpgaIntegrated;
+
+  // --- Imaged detection ---------------------------------------------------
+  /// Plan on the *detected* occupancy of a rendered camera frame instead of
+  /// perfect ground truth (BatchConfig::imaged_detection): per-shot photon
+  /// noise, so detection errors enter the outcome fingerprint.
+  bool imaged_detection = false;
+  double photons_per_atom = 200.0;  ///< expected signal photons per atom
+  /// Per-site photon threshold; -1 selects the automatic two-class
+  /// threshold (DetectionConfig::threshold_photons). Validation accepts
+  /// exactly -1 or a non-negative finite value — anything else would
+  /// silently alias to "auto" and break the serialize/parse round trip.
+  double detection_threshold = -1.0;
   std::uint32_t shots = 16;
   std::uint64_t seed = 0x5EED;      ///< master seed; shots derive streams
   double per_move_loss = 0.005;

@@ -29,4 +29,14 @@ inline void mix_text(std::uint64_t& hash, const std::string& text) noexcept {
   for (const char c : text) mix_byte(hash, static_cast<std::uint8_t>(c));
 }
 
+/// One-shot hash of a length-prefixed string. This is the key function of
+/// every name-addressed structure in the repo: campaign sharding assigns a
+/// scenario to hash_text(name) % shards, so shard membership is a stable
+/// property of the scenario name alone (never of list order or timing).
+[[nodiscard]] inline std::uint64_t hash_text(const std::string& text) noexcept {
+  std::uint64_t hash = kOffset;
+  mix_text(hash, text);
+  return hash;
+}
+
 }  // namespace qrm::fnv

@@ -6,15 +6,21 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "util/assert.hpp"
 #include "batch/batch_planner.hpp"
+#include "batch/plan_cache.hpp"
+#include "core/planner.hpp"
 #include "lattice/grid.hpp"
 #include "lattice/quadrant.hpp"
 #include "loading/loader.hpp"
 #include "moves/realizer.hpp"
 #include "runtime/rearrangement_loop.hpp"
+#include "scenario/campaign.hpp"
 #include "testutil.hpp"
 #include "util/bitrow.hpp"
 #include "util/rng.hpp"
@@ -296,6 +302,72 @@ TEST(BatchProperty, LosslessShotsReplayOntoTheirFinalGrids) {
   for (const batch::ShotResult& shot : report.shots) {
     ASSERT_EQ(shot.schedules.size(), 1u) << "shot " << shot.shot;
     testutil::expect_replays_to(shot.planned_input, shot.schedules.front(), shot.final_grid);
+  }
+}
+
+// 50 seeds of cache-hit-vs-cold-plan bit-equality: for every workload the
+// cached path must return *exactly* the cold plan — schedule, final grid
+// and stats — across both plan modes. This is the property the whole
+// "fingerprints are cache-invariant" guarantee reduces to.
+TEST(PlanCacheProperty, FiftySeedCacheHitVsColdPlanBitEquality) {
+  batch::PlanCache cache;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    QrmConfig config;
+    config.target = centered_square(16, seed % 2 == 0 ? 8 : 10);
+    config.mode = seed % 3 == 0 ? PlanMode::Compact : PlanMode::Balanced;
+    const QrmPlanner planner(config);
+    const std::uint64_t key = batch::PlanCache::config_key("qrm", config);
+    const OccupancyGrid grid = load_random(16, 16, {0.55 + 0.3 * (seed % 5) / 5.0, seed});
+
+    const PlanResult cold = planner.plan(grid);
+    cache.insert(key, grid, planner.plan(grid));
+    const std::shared_ptr<const PlanResult> hit = cache.find(key, grid);
+    ASSERT_NE(hit, nullptr) << "seed " << seed;
+    EXPECT_EQ(hit->schedule, cold.schedule) << "seed " << seed;
+    EXPECT_EQ(hit->final_grid, cold.final_grid) << "seed " << seed;
+    EXPECT_EQ(hit->stats, cold.stats) << "seed " << seed;
+    EXPECT_EQ(*hit, cold) << "seed " << seed;
+  }
+}
+
+// Shard-merge equivalence: any shard count x any worker count must merge
+// to a report whose deterministic CSV/JSON bytes are identical to the
+// sequential single-shard run's.
+TEST(ShardProperty, AnyShardAndWorkerCountMergesToIdenticalReportBytes) {
+  std::vector<scenario::ScenarioSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    scenario::ScenarioSpec spec;
+    spec.name = "prop-" + std::to_string(i);
+    spec.grid_height = spec.grid_width = 16;
+    spec.target_rows = spec.target_cols = 8;
+    spec.load = i % 2 == 0 ? scenario::LoadProfile::Uniform : scenario::LoadProfile::Pattern;
+    spec.fill = 0.7;
+    spec.shots = 3;
+    spec.seed = 0xABC + i;
+    spec.max_rounds = 3;
+    specs.push_back(spec);
+  }
+
+  const auto report_bytes = [](const scenario::CampaignReport& report) {
+    std::ostringstream csv;
+    scenario::write_csv(report, csv, scenario::ReportMode::Deterministic);
+    std::ostringstream json;
+    scenario::write_json(report, json, scenario::ReportMode::Deterministic);
+    return csv.str() + "\n---\n" + json.str();
+  };
+
+  scenario::CampaignConfig sequential;
+  sequential.workers = 1;
+  const std::string expected = report_bytes(scenario::CampaignRunner(sequential).run(specs));
+
+  for (std::uint32_t shards = 1; shards <= 6; ++shards) {
+    for (const std::uint32_t workers : {1u, 2u, 4u}) {
+      scenario::CampaignConfig config;
+      config.workers = workers;
+      config.shards = shards;
+      EXPECT_EQ(report_bytes(scenario::CampaignRunner(config).run(specs)), expected)
+          << shards << " shards, " << workers << " workers";
+    }
   }
 }
 

@@ -142,6 +142,54 @@ TEST(ScenarioSpec, ValidationRejectsUnrunnableSpecs) {
   EXPECT_THROW(scenario::validate(oversized), PreconditionError);
 }
 
+TEST(ScenarioSpec, ImagedDetectionRoundTripsAndGatesItsKeys) {
+  ScenarioSpec spec = tiny_spec();
+  spec.imaged_detection = true;
+  spec.photons_per_atom = 48.5;
+  spec.detection_threshold = 120.25;
+  const std::string text = serialize(spec);
+  EXPECT_NE(text.find("imaged_detection=true"), std::string::npos);
+  EXPECT_EQ(scenario::parse_scenario(text), spec);
+
+  // The automatic threshold serializes as `auto` and round-trips to -1.
+  spec.detection_threshold = -1.0;
+  EXPECT_NE(serialize(spec).find("detection_threshold=auto"), std::string::npos);
+  EXPECT_EQ(scenario::parse_scenario(serialize(spec)), spec);
+
+  // With imaged detection off, the imaging keys are omitted entirely...
+  EXPECT_EQ(serialize(tiny_spec()).find("imaged_detection"), std::string::npos);
+  // ...and rejected on input: a stray imaging knob is a spec bug.
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nphotons_per_atom=100\n"),
+               PreconditionError);
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\ndetection_threshold=12\n"),
+               PreconditionError);
+  EXPECT_THROW((void)scenario::parse_scenario("name=x\nimaged_detection=maybe\n"),
+               PreconditionError);
+}
+
+TEST(ScenarioSpec, ImagedDetectionRejectsOutOfRangeValues) {
+  const auto imaged = [](const std::string& tail) {
+    return scenario::parse_scenario("name=x\nimaged_detection=true\n" + tail);
+  };
+  EXPECT_THROW((void)imaged("photons_per_atom=0\n"), PreconditionError);
+  EXPECT_THROW((void)imaged("photons_per_atom=-3\n"), PreconditionError);
+  EXPECT_THROW((void)imaged("photons_per_atom=nan\n"), PreconditionError);
+  EXPECT_THROW((void)imaged("photons_per_atom=inf\n"), PreconditionError);
+  EXPECT_THROW((void)imaged("photons_per_atom=1e18\n"), PreconditionError);
+  EXPECT_THROW((void)imaged("detection_threshold=-0.5\n"), PreconditionError);
+  EXPECT_THROW((void)imaged("detection_threshold=nan\n"), PreconditionError);
+  EXPECT_THROW((void)imaged("detection_threshold=1e18\n"), PreconditionError);
+  EXPECT_NO_THROW((void)imaged("photons_per_atom=50\ndetection_threshold=auto\n"));
+
+  // Programmatically built specs get the same protection from validate():
+  // any negative threshold other than the -1 sentinel would silently alias
+  // to "auto" in the text form and break the round trip.
+  ScenarioSpec bad = tiny_spec();
+  bad.imaged_detection = true;
+  bad.detection_threshold = -2.0;
+  EXPECT_THROW(scenario::validate(bad), PreconditionError);
+}
+
 // ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
@@ -163,6 +211,11 @@ TEST(ScenarioRegistry, ShipsTheRequiredCoverage) {
   // All five loader families and both control architectures are exercised.
   EXPECT_EQ(profiles.size(), 5u);
   EXPECT_EQ(architectures.size(), 2u);
+  // The detection-error regime is covered (scenario-driven imaged detection).
+  bool imaged = false;
+  for (const ScenarioSpec& spec : scenarios) imaged = imaged || spec.imaged_detection;
+  EXPECT_TRUE(imaged);
+  EXPECT_NO_THROW((void)scenario::find_scenario("imaged-detection"));
   // The paper's own workload and a large-grid stress point are present.
   EXPECT_NO_THROW((void)scenario::find_scenario("paper-fig7"));
   EXPECT_NO_THROW((void)scenario::find_scenario("large-grid-256"));
@@ -366,6 +419,35 @@ TEST(CampaignRunner, ArchitectureModelSeparatesTheTwoControlPaths) {
   EXPECT_GT(fpga_outcome.arch_overhead_us, 0.0);
   // The spec is part of the identity fingerprint, so the two differ there.
   EXPECT_NE(host_outcome.fingerprint, fpga_outcome.fingerprint);
+}
+
+TEST(CampaignRunner, ImagedDetectionFlowsIntoBatchConfigAndOutcome) {
+  ScenarioSpec spec = tiny_spec();
+  spec.imaged_detection = true;
+  spec.photons_per_atom = 6.0;  // deliberately marginal: errors are expected
+
+  const batch::BatchConfig batch_config = scenario::to_batch_config(spec, 2);
+  EXPECT_TRUE(batch_config.imaged_detection);
+  EXPECT_DOUBLE_EQ(batch_config.imaging.photons_per_atom, 6.0);
+  EXPECT_DOUBLE_EQ(batch_config.detection.threshold_photons, -1.0);
+
+  scenario::CampaignConfig config;
+  config.workers = 2;
+  const scenario::CampaignRunner runner(config);
+  const scenario::ScenarioOutcome outcome = runner.run_one(spec);
+  std::int64_t errors = 0;
+  for (const batch::ShotResult& shot : outcome.batch.shots)
+    errors += shot.detection_errors.total();
+  // 6 photons/atom over ~4 background is deterministic-per-seed noise that
+  // reliably misclassifies sites — the planner really saw the camera.
+  EXPECT_GT(errors, 0);
+  // And the whole imaged pipeline is reproducible bit for bit.
+  EXPECT_EQ(runner.run_one(spec).fingerprint, outcome.fingerprint);
+
+  // Perfect detection remains the default and error-free.
+  const scenario::ScenarioOutcome perfect = runner.run_one(tiny_spec());
+  for (const batch::ShotResult& shot : perfect.batch.shots)
+    EXPECT_EQ(shot.detection_errors.total(), 0);
 }
 
 TEST(CampaignReport, CsvAndJsonWritersEmitEveryScenario) {

@@ -10,6 +10,7 @@
 #include "util/assert.hpp"
 #include "util/bitrow.hpp"
 #include "util/csv.hpp"
+#include "util/fnv.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -225,6 +226,20 @@ TEST(Rng, PoissonMoments) {
   for (auto& x : large) x = rng.poisson(200.0);
   EXPECT_NEAR(stats::mean(large), 200.0, 1.5);
   EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Fnv, HashTextMatchesTheMixingPrimitivesAndSeparatesInputs) {
+  // hash_text is the one-shot form of mix_text over the offset basis —
+  // shard assignment and cache keys both depend on this staying true.
+  std::uint64_t manual = fnv::kOffset;
+  fnv::mix_text(manual, "paper-fig7");
+  EXPECT_EQ(fnv::hash_text("paper-fig7"), manual);
+
+  EXPECT_EQ(fnv::hash_text("abc"), fnv::hash_text("abc"));
+  EXPECT_NE(fnv::hash_text("abc"), fnv::hash_text("abd"));
+  EXPECT_NE(fnv::hash_text(""), fnv::hash_text("a"));
+  // Length prefixing keeps concatenation ambiguity out of the key space.
+  EXPECT_NE(fnv::hash_text("ab"), fnv::hash_text("a"));
 }
 
 TEST(Stats, Basics) {
