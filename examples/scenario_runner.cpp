@@ -5,6 +5,7 @@
 //   scenario_runner list
 //   scenario_runner describe <name>
 //   scenario_runner run [--filter <substr|tag>] [--workers N]
+//                       [--intra-plan-workers N]
 //                       [--file <campaign.txt>] [--csv <path>] [--json <path>]
 //                       [--shards N] [--shard-index i] [--deterministic]
 //                       [--plan-cache on|off]
@@ -42,6 +43,7 @@ int usage() {
   std::cerr << "usage: scenario_runner list\n"
             << "       scenario_runner describe <name>\n"
             << "       scenario_runner run [--filter <substr|tag>] [--workers N]\n"
+            << "                           [--intra-plan-workers N]\n"
             << "                           [--file <campaign.txt>] [--csv <path>] "
                "[--json <path>]\n"
             << "                           [--shards N] [--shard-index i] [--deterministic]\n"
@@ -107,6 +109,16 @@ int run_campaign(const std::vector<std::string>& args) {
                   << args[i] << "'\n";
         return usage();
       }
+    } else if (arg == "--intra-plan-workers" && has_value) {
+      std::uint32_t workers = 0;
+      if (!parse_u32(args[++i], 4096, workers)) {
+        std::cerr << "scenario_runner: --intra-plan-workers needs an integer in [0, 4096],"
+                     " got '" << args[i] << "'\n";
+        return usage();
+      }
+      // Campaign-level override of every spec's knob; plans (and therefore
+      // every fingerprint in the report) are identical for any value.
+      config.intra_plan_workers = static_cast<std::int32_t>(workers);
     } else if (arg == "--shards" && has_value) {
       if (!parse_u32(args[++i], 4096, config.shards) || config.shards == 0) {
         std::cerr << "scenario_runner: --shards needs an integer in [1, 4096], got '"

@@ -137,6 +137,11 @@ rt::LossModel BatchPlanner::effective_loss() const noexcept {
 }
 
 ShotResult BatchPlanner::run_shot(std::uint32_t shot, const OccupancyGrid* captured) const {
+  return run_shot_impl(shot, captured, nullptr);
+}
+
+ShotResult BatchPlanner::run_shot_impl(std::uint32_t shot, const OccupancyGrid* captured,
+                                       std::shared_ptr<ThreadPool> intra_pool) const {
   ShotResult result;
   result.shot = shot;
   result.seed = derive_seed(config_.master_seed, shot);
@@ -163,8 +168,16 @@ ShotResult BatchPlanner::run_shot(std::uint32_t shot, const OccupancyGrid* captu
   // --- Plan + simulated lossy execution -----------------------------------
   // The planner runs behind the algorithm interface so baselines batch the
   // same way; "qrm" keeps the full QrmConfig (mode, merge, sen_limit).
+  QrmConfig plan_config = config_.plan;
+  if (plan_config.intra_plan_workers > 0 && intra_pool != nullptr) {
+    // Batched path: quadrant tasks share the shot pool (see run_shot's
+    // arbitration note). The pool is not part of the plan's identity, so
+    // the cache key and every fingerprint are unchanged by this.
+    plan_config.intra_plan_pool = std::move(intra_pool);
+  }
+
   rt::LoopConfig loop_config;
-  loop_config.plan = config_.plan;
+  loop_config.plan = plan_config;
   loop_config.loss = effective_loss();
   loop_config.max_rounds = config_.max_rounds;
   loop_config.shot_index = shot;
@@ -173,7 +186,7 @@ ShotResult BatchPlanner::run_shot(std::uint32_t shot, const OccupancyGrid* captu
   double plan_us = 0.0;
   rt::PlanFn plan_round;
   if (config_.algorithm == "qrm") {
-    plan_round = [planner = QrmPlanner(config_.plan), &plan_us](const OccupancyGrid& state) {
+    plan_round = [planner = QrmPlanner(plan_config), &plan_us](const OccupancyGrid& state) {
       Stopwatch watch;
       PlanResult plan = planner.plan(state);
       plan_us += watch.elapsed_microseconds();
@@ -237,13 +250,25 @@ BatchReport BatchPlanner::run_impl(std::uint32_t shot_count,
     ThreadPool pool(config_.workers);
     report.workers = pool.worker_count();
 
+    // Nested-parallelism arbitration: quadrant tasks draw from the same
+    // pool as the shots, unless the caller configured a pool of its own
+    // (the campaign runner shares its campaign-wide pool that way). The
+    // self-share is deliberately *non-owning* (aliasing shared_ptr): a shot
+    // task that held the last owning reference would destroy the pool from
+    // one of its own workers. The block scope already guarantees the pool
+    // outlives every shot.
+    const std::shared_ptr<ThreadPool> intra_pool =
+        config_.plan.intra_plan_pool != nullptr
+            ? config_.plan.intra_plan_pool
+            : std::shared_ptr<ThreadPool>(std::shared_ptr<void>(), &pool);
+
     std::vector<std::future<void>> done;
     done.reserve(shot_count);
     for (std::uint32_t shot = 0; shot < shot_count; ++shot) {
-      done.push_back(pool.submit([this, shot, captured, &report] {
+      done.push_back(pool.submit([this, shot, captured, &report, intra_pool] {
         // Each shot owns exactly slot [shot]; no cross-shot state is shared.
-        report.shots[shot] =
-            run_shot(shot, captured != nullptr ? &(*captured)[shot] : nullptr);
+        report.shots[shot] = run_shot_impl(
+            shot, captured != nullptr ? &(*captured)[shot] : nullptr, intra_pool);
       }));
     }
 

@@ -142,11 +142,23 @@ class BatchPlanner {
 
   /// The exact work one shot performs; exposed so tests can compare the
   /// serial answer against the pooled one. `captured` may be null.
+  ///
+  /// Worker arbitration: when plan.intra_plan_workers > 0, the batched
+  /// paths (run / run_impl) hand every shot the *same* pool its own task
+  /// runs on, so shot-level and quadrant-level parallelism share one worker
+  /// budget — ThreadPool::run_all lets a pooled shot join its own quadrant
+  /// tasks without deadlock at any pool size. This entry point has no batch
+  /// pool; QrmPlanner::plan spins up a transient pool per plan instead
+  /// (bit-identical results either way).
   [[nodiscard]] ShotResult run_shot(std::uint32_t shot, const OccupancyGrid* captured) const;
 
  private:
   [[nodiscard]] BatchReport run_impl(std::uint32_t shot_count,
                                      const std::vector<OccupancyGrid>* captured) const;
+  /// run_shot with an explicit intra-plan pool (null = config's own, or a
+  /// transient per-plan pool when the knob is on and none is configured).
+  [[nodiscard]] ShotResult run_shot_impl(std::uint32_t shot, const OccupancyGrid* captured,
+                                         std::shared_ptr<ThreadPool> intra_pool) const;
 
   BatchConfig config_;
 };

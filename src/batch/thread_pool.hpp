@@ -1,78 +1,14 @@
 #pragma once
 /// \file thread_pool.hpp
-/// Fixed-size worker pool with a simple MPMC task queue.
-///
-/// This is the concurrency substrate of qrm::batch: callers submit arbitrary
-/// callables and receive futures; exceptions thrown inside a task surface
-/// through the future (never terminate a worker). Shutdown is *draining*:
-/// the destructor lets already-queued tasks finish before joining, so every
-/// future obtained from submit() eventually becomes ready and no task is
-/// silently dropped — the property the batch planner's determinism rests on.
-///
-/// Determinism note: the pool itself makes no ordering promises — tasks may
-/// run in any order on any worker. Deterministic batch results come from the
-/// layer above (per-shot derived seeds + per-shot result slots), not from
-/// scheduling.
+/// Compatibility alias: the pool moved to util/thread_pool.hpp when the
+/// planner core grew intra-plan parallelism (the core cannot depend on
+/// batch, which sits above it). Existing qrm::batch::ThreadPool users keep
+/// compiling through this header.
 
-#include <cstddef>
-#include <cstdint>
-#include <deque>
-#include <functional>
-#include <future>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <type_traits>
-#include <utility>
-#include <vector>
-
-#include <condition_variable>
+#include "util/thread_pool.hpp"
 
 namespace qrm::batch {
 
-class ThreadPool {
- public:
-  /// Spawn `workers` threads; 0 selects std::thread::hardware_concurrency()
-  /// (at least 1). The pool size is fixed for the pool's lifetime.
-  explicit ThreadPool(std::uint32_t workers = 0);
-
-  /// Drains the queue (queued tasks still run), then joins all workers.
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  [[nodiscard]] std::uint32_t worker_count() const noexcept {
-    return static_cast<std::uint32_t>(workers_.size());
-  }
-
-  /// Tasks accepted but not yet picked up by a worker.
-  [[nodiscard]] std::size_t pending() const;
-
-  /// Enqueue a callable; its result (or exception) arrives via the future.
-  template <typename Fn>
-  [[nodiscard]] auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
-    using Result = std::invoke_result_t<std::decay_t<Fn>>;
-    // packaged_task is move-only but std::function requires copyable
-    // callables, so the task rides in a shared_ptr.
-    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
-    std::future<Result> future = task->get_future();
-    enqueue([task] { (*task)(); });
-    return future;
-  }
-
-  /// Resolve a requested worker count: 0 -> hardware_concurrency, floor 1.
-  [[nodiscard]] static std::uint32_t resolve_workers(std::uint32_t requested) noexcept;
-
- private:
-  void enqueue(std::function<void()> task);
-  void worker_loop();
-
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
-};
+using qrm::ThreadPool;
 
 }  // namespace qrm::batch

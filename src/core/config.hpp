@@ -3,6 +3,7 @@
 /// Configuration and result types of the QRM planner.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "lattice/grid.hpp"
@@ -11,6 +12,8 @@
 #include "moves/schedule.hpp"
 
 namespace qrm {
+
+class ThreadPool;
 
 /// Per-quadrant scheduling strategy.
 enum class PlanMode : std::uint8_t {
@@ -48,6 +51,19 @@ struct QrmConfig {
   /// never shift ("prevent unnecessary shifts far from the center").
   /// Negative disables gating.
   std::int32_t sen_limit = -1;
+  /// Intra-plan parallelism: fan each pass's four quadrant-local kernels
+  /// (and the per-quadrant lowering in apply()) out across this many pool
+  /// workers. 0 = strictly sequential (the default). Any value produces
+  /// bit-identical plans — the quadrants are data-independent and their
+  /// results are merged in a fixed order — so this knob never enters plan
+  /// fingerprints or PlanCache keys.
+  std::uint32_t intra_plan_workers = 0;
+  /// Pool the quadrant tasks run on when intra_plan_workers > 0. Layers
+  /// that already own a pool (BatchPlanner, CampaignRunner) share it here so
+  /// shot-level and quadrant-level work draw from one budget; when left
+  /// null, QrmPlanner::plan spins up a transient pool per call. Not part of
+  /// the config's identity (caches and fingerprints ignore it).
+  std::shared_ptr<ThreadPool> intra_plan_pool;
 };
 
 /// What one line-scan pass over the quadrants did (used by the cycle model
@@ -61,14 +77,33 @@ struct PassInfo {
   friend bool operator==(const PassInfo&, const PassInfo&) = default;
 };
 
+/// Wall-clock breakdown of one plan's serial-vs-parallel structure:
+/// pass_compute is the quadrant-kernel work next() fans out, merge is the
+/// cross-quadrant assignment stitching, realize is the schedule lowering
+/// that advances the grid. Measurement only — never part of a plan's
+/// identity (see PlanStats::operator==).
+struct PhaseTimers {
+  double pass_compute_us = 0.0;
+  double merge_us = 0.0;
+  double realize_us = 0.0;
+};
+
 struct PlanStats {
   std::int32_t iterations = 0;  ///< compact iterations used (balanced: 1)
   bool target_filled = false;
   std::int64_t defects_remaining = 0;
   bool feasible = true;  ///< balanced mode: demand was satisfiable
   std::vector<PassInfo> passes;
+  PhaseTimers timers;  ///< excluded from equality: timing is not outcome
 
-  friend bool operator==(const PlanStats&, const PlanStats&) = default;
+  /// Outcome equality: every deterministic field, timers excluded — this is
+  /// what "a cache hit is indistinguishable from a cold plan" and "parallel
+  /// plans are bit-identical to sequential" are measured with.
+  friend bool operator==(const PlanStats& a, const PlanStats& b) noexcept {
+    return a.iterations == b.iterations && a.target_filled == b.target_filled &&
+           a.defects_remaining == b.defects_remaining && a.feasible == b.feasible &&
+           a.passes == b.passes;
+  }
 };
 
 struct PlanResult {

@@ -1,9 +1,14 @@
 #include "core/pass_driver.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qrm {
 
@@ -69,22 +74,41 @@ std::optional<QuadrantPass> PassDriver::next() {
                                                                            : Axis::Cols;
   pass.balance = phase_ == Phase::BalanceRow;
 
+  const Stopwatch watch;
   const std::int32_t quarter_rows = config_.target.rows / 2;
   const std::int32_t quarter_cols = config_.target.cols / 2;
-  for (const Quadrant q : kAllQuadrants) {
-    const auto qi = static_cast<std::size_t>(q);
+  // The four quadrant kernels are data-independent: each reads the shared
+  // (const) state and writes only its own index in the pass arrays. They
+  // therefore fan out on the intra-plan pool without changing any result
+  // bit; the feasibility fold happens after the join, and AND is
+  // order-free, so the outcome matches the sequential loop exactly.
+  const auto compute_quadrant = [&](std::size_t qi) {
+    const Quadrant q = kAllQuadrants[qi];
     pass.local_grids[qi] = geometry_.extract_local(state_, q);
     if (pass.balance) {
       BalanceReport report;
       pass.local_assignments[qi] = balance_pass(pass.local_grids[qi], quarter_rows, quarter_cols,
                                                 config_.sen_limit, &report);
       pass.balance_reports[qi] = report;
-      if (!report.feasible) stats_.feasible = false;
     } else {
       pass.local_assignments[qi] =
           compact_pass(pass.local_grids[qi], pass.axis, config_.sen_limit);
     }
+  };
+  if (ThreadPool* pool = intra_plan_pool(); pool != nullptr) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(kAllQuadrants.size());
+    for (std::size_t qi = 0; qi < kAllQuadrants.size(); ++qi)
+      tasks.emplace_back([&compute_quadrant, qi] { compute_quadrant(qi); });
+    pool->run_all(std::move(tasks));
+  } else {
+    for (std::size_t qi = 0; qi < kAllQuadrants.size(); ++qi) compute_quadrant(qi);
   }
+  if (pass.balance) {
+    for (const BalanceReport& report : pass.balance_reports)
+      if (!report.feasible) stats_.feasible = false;
+  }
+  stats_.timers.pass_compute_us += watch.elapsed_microseconds();
   awaiting_apply_ = true;
   return pass;
 }
@@ -97,14 +121,35 @@ void PassDriver::apply(const QuadrantPass& pass) {
   info.axis = pass.axis;
   const RealizeOptions realize_options{config_.aod_legalize};
 
+  // Lower each quadrant's local assignments to global coordinates first.
+  // The four conversions are pure and data-independent, so they fan out on
+  // the intra-plan pool; the merge below then consumes the slots in fixed
+  // quadrant order, which is exactly the order the old inline loop produced.
+  const Stopwatch merge_watch;
+  std::array<std::vector<LineAssignment>, 4> globals;
+  const auto lower_quadrant = [&](std::size_t qi) {
+    const auto& locals = pass.local_assignments[qi];
+    globals[qi].reserve(locals.size());
+    for (const auto& la : locals)
+      globals[qi].push_back(to_global_assignment(geometry_, kAllQuadrants[qi], pass.axis, la));
+  };
+  if (ThreadPool* pool = intra_plan_pool(); pool != nullptr) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(kAllQuadrants.size());
+    for (std::size_t qi = 0; qi < kAllQuadrants.size(); ++qi)
+      tasks.emplace_back([&lower_quadrant, qi] { lower_quadrant(qi); });
+    pool->run_all(std::move(tasks));
+  } else {
+    for (std::size_t qi = 0; qi < kAllQuadrants.size(); ++qi) lower_quadrant(qi);
+  }
+
   if (config_.merge_quadrants) {
     // Paper Sec. IV-C: west-side (NW+SW) and east-side (NE+SE) shifts run as
     // shared commands; realizing both half-lines of every global line in one
     // call yields exactly those shared rounds.
     std::map<std::int32_t, LineAssignment> merged;
-    for (const Quadrant q : kAllQuadrants) {
-      for (const auto& la : pass.local_assignments[static_cast<std::size_t>(q)]) {
-        LineAssignment ga = to_global_assignment(geometry_, q, pass.axis, la);
+    for (std::size_t qi = 0; qi < kAllQuadrants.size(); ++qi) {
+      for (LineAssignment& ga : globals[qi]) {
         auto [it, inserted] = merged.try_emplace(ga.line, std::move(ga));
         if (!inserted) {
           // try_emplace left `ga` untouched; append it to the accumulated
@@ -131,26 +176,29 @@ void PassDriver::apply(const QuadrantPass& pass) {
     lines.reserve(merged.size());
     for (auto& [line, la] : merged) lines.push_back(std::move(la));
     info.lines_with_motion = lines.size();
+    stats_.timers.merge_us += merge_watch.elapsed_microseconds();
     if (!lines.empty()) {
+      const Stopwatch realize_watch;
       const RealizeResult rr =
           realize_assignments(state_, pass.axis, lines, schedule_, realize_options);
       info.unit_rounds = rr.rounds_toward_origin + rr.rounds_away;
       info.atoms_moved = rr.atoms_moved;
+      stats_.timers.realize_us += realize_watch.elapsed_microseconds();
     }
   } else {
-    for (const Quadrant q : kAllQuadrants) {
-      const auto& locals = pass.local_assignments[static_cast<std::size_t>(q)];
-      if (locals.empty()) continue;
-      std::vector<LineAssignment> globals;
-      globals.reserve(locals.size());
-      for (const auto& la : locals)
-        globals.push_back(to_global_assignment(geometry_, q, pass.axis, la));
-      info.lines_with_motion += globals.size();
+    stats_.timers.merge_us += merge_watch.elapsed_microseconds();
+    const Stopwatch realize_watch;
+    // Realization mutates the shared grid and schedule: strictly serial, in
+    // quadrant order, as the determinism contract requires.
+    for (std::size_t qi = 0; qi < kAllQuadrants.size(); ++qi) {
+      if (globals[qi].empty()) continue;
+      info.lines_with_motion += globals[qi].size();
       const RealizeResult rr =
-          realize_assignments(state_, pass.axis, globals, schedule_, realize_options);
+          realize_assignments(state_, pass.axis, globals[qi], schedule_, realize_options);
       info.unit_rounds += rr.rounds_toward_origin + rr.rounds_away;
       info.atoms_moved += rr.atoms_moved;
     }
+    stats_.timers.realize_us += realize_watch.elapsed_microseconds();
   }
   stats_.passes.push_back(info);
 
@@ -181,6 +229,10 @@ void PassDriver::apply(const QuadrantPass& pass) {
     case Phase::Done:
       break;
   }
+}
+
+ThreadPool* PassDriver::intra_plan_pool() const noexcept {
+  return config_.intra_plan_workers > 0 ? config_.intra_plan_pool.get() : nullptr;
 }
 
 PlanResult PassDriver::take_result() {

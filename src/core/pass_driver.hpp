@@ -67,6 +67,10 @@ class PassDriver {
   /// Where we are in the mode's pass program.
   enum class Phase { BalanceRow, BalanceCol, CompactRow, CompactCol, Done };
 
+  /// Pool the quadrant tasks fan out on, or nullptr for the sequential path
+  /// (intra_plan_workers == 0, or no pool was provided or created).
+  [[nodiscard]] ThreadPool* intra_plan_pool() const noexcept;
+
   QrmConfig config_;
   QuadrantGeometry geometry_;
   OccupancyGrid state_;

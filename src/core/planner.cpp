@@ -1,11 +1,21 @@
 #include "core/planner.hpp"
 
+#include <memory>
+
 #include "core/pass_driver.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qrm {
 
 PlanResult QrmPlanner::plan(const OccupancyGrid& initial) const {
-  PassDriver driver(initial, config_);
+  QrmConfig config = config_;
+  if (config.intra_plan_workers > 0 && config.intra_plan_pool == nullptr) {
+    // No layer above us owns a pool (standalone plan call): spin up a
+    // transient one. Batch and campaign layers share their shot pool here
+    // instead, so nested parallelism never oversubscribes.
+    config.intra_plan_pool = std::make_shared<ThreadPool>(config.intra_plan_workers);
+  }
+  PassDriver driver(initial, std::move(config));
   while (auto pass = driver.next()) driver.apply(*pass);
   return driver.take_result();
 }

@@ -51,16 +51,6 @@ OccupancyGrid OccupancyGrid::from_strings(const std::vector<std::string>& lines)
   return g;
 }
 
-bool OccupancyGrid::occupied(Coord c) const {
-  QRM_EXPECTS(in_bounds(c));
-  return rows_[static_cast<std::size_t>(c.row)].test(static_cast<std::uint32_t>(c.col));
-}
-
-void OccupancyGrid::set(Coord c, bool value) {
-  QRM_EXPECTS(in_bounds(c));
-  rows_[static_cast<std::size_t>(c.row)].set(static_cast<std::uint32_t>(c.col), value);
-}
-
 std::int64_t OccupancyGrid::atom_count() const noexcept {
   std::int64_t n = 0;
   for (const auto& r : rows_) n += r.count();
@@ -98,11 +88,6 @@ std::vector<Coord> OccupancyGrid::atom_positions() const {
         [&out, r](std::uint32_t c) { out.push_back({r, static_cast<std::int32_t>(c)}); });
   }
   return out;
-}
-
-const BitRow& OccupancyGrid::row(std::int32_t r) const {
-  QRM_EXPECTS(r >= 0 && r < height_);
-  return rows_[static_cast<std::size_t>(r)];
 }
 
 void OccupancyGrid::set_row(std::int32_t r, BitRow bits) {

@@ -9,6 +9,7 @@
 
 #include "lattice/coord.hpp"
 #include "lattice/region.hpp"
+#include "util/assert.hpp"
 #include "util/bitrow.hpp"
 
 namespace qrm {
@@ -43,10 +44,17 @@ class OccupancyGrid {
     return c.row >= 0 && c.row < height_ && c.col >= 0 && c.col < width_;
   }
 
-  /// Read occupancy; precondition: in_bounds(c).
-  [[nodiscard]] bool occupied(Coord c) const;
+  /// Read occupancy; precondition: in_bounds(c). Inline: the innermost
+  /// probe of the realizer/legalizer hot loops.
+  [[nodiscard]] bool occupied(Coord c) const {
+    QRM_EXPECTS(in_bounds(c));
+    return rows_[static_cast<std::size_t>(c.row)].test(static_cast<std::uint32_t>(c.col));
+  }
   /// Write occupancy; precondition: in_bounds(c).
-  void set(Coord c, bool value = true);
+  void set(Coord c, bool value = true) {
+    QRM_EXPECTS(in_bounds(c));
+    rows_[static_cast<std::size_t>(c.row)].set(static_cast<std::uint32_t>(c.col), value);
+  }
   void clear(Coord c) { set(c, false); }
 
   /// Total atoms in the grid.
@@ -61,7 +69,10 @@ class OccupancyGrid {
   [[nodiscard]] std::vector<Coord> atom_positions() const;
 
   /// Access one row's bits. Precondition: 0 <= row < height().
-  [[nodiscard]] const BitRow& row(std::int32_t r) const;
+  [[nodiscard]] const BitRow& row(std::int32_t r) const {
+    QRM_EXPECTS(r >= 0 && r < height_);
+    return rows_[static_cast<std::size_t>(r)];
+  }
   /// Replace one row's bits; the new row must have width() == width().
   void set_row(std::int32_t r, BitRow bits);
   /// Extract one column as a BitRow of length height() (bit i = row i).

@@ -3,33 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <map>
-#include <set>
 
 #include "moves/executor.hpp"
 #include "util/assert.hpp"
 
 namespace qrm {
-
-namespace {
-
-/// Sort sites so that atoms nearest the destination side ("front" of the
-/// motion) come first; chain followers then see their leaders handled first.
-std::vector<Coord> front_first(std::span<const Coord> sites, Direction dir) {
-  std::vector<Coord> out(sites.begin(), sites.end());
-  const auto key_less = [dir](const Coord& a, const Coord& b) {
-    switch (dir) {
-      case Direction::West: return a.col != b.col ? a.col < b.col : a.row < b.row;
-      case Direction::East: return a.col != b.col ? a.col > b.col : a.row < b.row;
-      case Direction::North: return a.row != b.row ? a.row < b.row : a.col < b.col;
-      case Direction::South: return a.row != b.row ? a.row > b.row : a.col < b.col;
-    }
-    return a < b;
-  };
-  std::sort(out.begin(), out.end(), key_less);
-  return out;
-}
-
-}  // namespace
 
 std::optional<std::string> aod_violation(const OccupancyGrid& grid, const ParallelMove& move) {
   if (move.sites.empty()) return std::nullopt;
@@ -66,41 +44,285 @@ std::optional<std::string> aod_violation(const OccupancyGrid& grid, const Parall
   return std::nullopt;
 }
 
+namespace {
+
+/// One axis of the AOD cross-product check at word speed: does the occupancy
+/// line `occ` hold a set bit that is also in `mask` (a trap the batch's AOD
+/// lines would create) but is neither a member of the batch (`own`) nor the
+/// candidate's own position (`exclude`)? Equivalent to the per-cell scan
+///   any c in mask: occ(c) && !own(c) && c != exclude
+/// but one AND-NOT sweep over the line's words.
+bool aod_bystander_on_line(const BitRow& occ, const BitRow& mask, const BitRow& own,
+                           std::int32_t exclude) {
+  const auto& ow = occ.words();
+  const auto& mw = mask.words();
+  const auto& sw = own.words();
+  const auto xw = static_cast<std::size_t>(exclude) / BitRow::kWordBits;
+  const auto xbit = BitRow::Word{1} << (static_cast<std::uint32_t>(exclude) % BitRow::kWordBits);
+  for (std::size_t wi = 0; wi < ow.size(); ++wi) {
+    BitRow::Word bystanders = ow[wi] & mw[wi] & ~sw[wi];
+    if (wi == xw) bystanders &= ~xbit;
+    if (bystanders != 0) return true;
+  }
+  return false;
+}
+
+/// Exact line-major reformulation of the greedy partition for the dominant
+/// unit-step case. Produces bit-identical batches, in the same order, as the
+/// per-candidate scan in legalize() below: the candidate visit order (major
+/// axis toward the front, minor axis ascending) IS the front_first order, the
+/// accept predicate is term-for-term the same, and rejected candidates have
+/// no side effects — which is what lets whole groups of them be skipped from
+/// word-level masks instead of being examined one by one:
+///   * path rejects: one AND-NOT of the group's forward line,
+///   * group-axis cross rejects: one sweep of the group line against the
+///     accepted-minor mask (0 bystanders = all pass, 2+ = all fail, exactly
+///     1 = only the bystander site itself may proceed, and it unblocks the
+///     minors after it only by being accepted),
+///   * minor-axis cross checks: the only remaining per-candidate sweep.
+std::vector<ParallelMove> legalize_unit_step(const OccupancyGrid& grid,
+                                             const std::vector<Coord>& sorted_sites,
+                                             OccupancyGrid gmaj, OccupancyGrid rmaj,
+                                             BitRow majors_present, Direction dir) {
+  const bool horiz = is_horizontal(dir);
+  const Coord delta = direction_delta(dir);
+  const std::int32_t dmaj = horiz ? delta.col : delta.row;  // -1 or +1
+  const std::int32_t nmaj = horiz ? grid.width() : grid.height();
+  const std::int32_t nmin = horiz ? grid.height() : grid.width();
+  const auto site_at = [horiz](std::int32_t m, std::int32_t x) {
+    return horiz ? Coord{x, m} : Coord{m, x};
+  };
+
+  // Batch membership as a bit grid (reset between batches), and the
+  // accepted-minor mask of the batch.
+  OccupancyGrid mmaj(nmaj, nmin);
+  BitRow acc_min(static_cast<std::uint32_t>(nmin));
+  // Minors holding a bystander atom in some already-processed accepted major
+  // line. A major line's bystander set is final once its group finishes
+  // (accepts only ever happen during the line's own group visit), so this
+  // running OR is an exact O(1) replacement for the per-candidate sweep of
+  // the minor line against the accepted majors.
+  BitRow bystander_minors(static_cast<std::uint32_t>(nmin));
+  std::vector<ParallelMove> out;
+  std::vector<BitRow::Word> surv(gmaj.row(0).words().size());
+  std::size_t left = sorted_sites.size();
+  while (left > 0) {
+    std::vector<Coord> batch;
+    for (std::int32_t i = 0; i < nmaj; ++i) {
+      const std::int32_t m = dmaj < 0 ? i : nmaj - 1 - i;  // front-first
+      if (!majors_present.test(static_cast<std::uint32_t>(m))) continue;
+      const std::int32_t p = m + dmaj;  // the major line one step ahead
+      if (p < 0 || p >= nmaj) continue;  // whole group walks out of bounds
+      // Path check for every candidate of the group at once: the cell ahead
+      // must be free or vacated by an already-accepted member.
+      const auto& cw = rmaj.row(m).words();
+      const auto& pw = gmaj.row(p).words();
+      const auto& pm = mmaj.row(p).words();
+      const auto& bw = bystander_minors.words();
+      bool any = false;
+      for (std::size_t w = 0; w < surv.size(); ++w) {
+        surv[w] = cw[w] & ~(pw[w] & ~pm[w]) & ~bw[w];
+        any = any || surv[w] != 0;
+      }
+      if (!any) continue;
+      // Group-axis cross state: minors already accepted elsewhere that hold
+      // an atom on this major line. (The group's own members are excluded by
+      // construction: mmaj.row(m) is empty until this group accepts.)
+      const auto& gw = gmaj.row(m).words();
+      const auto& aw = acc_min.words();
+      std::int32_t vcount = 0;
+      std::int32_t bystander = -1;
+      for (std::size_t w = 0; w < gw.size() && vcount < 2; ++w) {
+        BitRow::Word v = gw[w] & aw[w];
+        while (v != 0 && vcount < 2) {
+          bystander = static_cast<std::int32_t>(w * BitRow::kWordBits +
+                                                static_cast<std::size_t>(std::countr_zero(v)));
+          v &= v - 1;
+          ++vcount;
+        }
+      }
+      if (vcount >= 2) continue;  // no candidate can clear two bystanders
+      bool gated = vcount == 1;   // only `bystander` itself may be accepted
+                                  // until it joins the batch
+      bool group_accepted = false;
+      bool group_done = false;
+      for (std::size_t w = 0; w < surv.size() && !group_done; ++w) {
+        BitRow::Word bits = surv[w];
+        while (bits != 0) {
+          const auto x = static_cast<std::int32_t>(w * BitRow::kWordBits +
+                                                   static_cast<std::size_t>(std::countr_zero(bits)));
+          bits &= bits - 1;
+          if (gated) {
+            if (x < bystander) continue;  // fails the group-axis check
+            if (x > bystander) {          // bystander was not cleared
+              group_done = true;
+              break;
+            }
+          }
+          // The minor-axis cross check already ran word-parallel: surv was
+          // masked by bystander_minors, and bystanders on this minor line in
+          // the group's own major are the candidate itself (excluded).
+          batch.push_back(site_at(m, x));
+          mmaj.set({m, x});
+          acc_min.set(static_cast<std::uint32_t>(x));
+          group_accepted = true;
+          gated = false;
+        }
+      }
+      if (group_accepted) {
+        // This line's bystander set is now final for the pass; fold it in.
+        const auto& go = gmaj.row(m).words();
+        const auto& mo = mmaj.row(m).words();
+        for (std::size_t w = 0; w < surv.size(); ++w)
+          bystander_minors.set_word(static_cast<std::uint32_t>(w),
+                                    bystander_minors.words()[w] | (go[w] & ~mo[w]));
+      }
+    }
+
+    QRM_ENSURES_MSG(!batch.empty(),
+                    "legalize made no progress; the intended move set is not realisable");
+
+    // Apply the batch: clear all sources, then set all destinations
+    // (lockstep semantics), and reset the per-batch membership state.
+    for (const Coord& s : batch) {
+      const std::int32_t m = horiz ? s.col : s.row;
+      const std::int32_t x = horiz ? s.row : s.col;
+      gmaj.clear({m, x});
+      mmaj.clear({m, x});
+      rmaj.clear({m, x});
+    }
+    for (const Coord& s : batch) {
+      const std::int32_t m = (horiz ? s.col : s.row) + dmaj;
+      const std::int32_t x = horiz ? s.row : s.col;
+      QRM_ENSURES_MSG(!gmaj.occupied({m, x}), "legalize produced a colliding batch");
+      gmaj.set({m, x});
+    }
+    std::int32_t prev_major = -1;
+    for (const Coord& s : batch) {
+      const std::int32_t m = horiz ? s.col : s.row;
+      if (m == prev_major) continue;  // batch is ordered by major line
+      prev_major = m;
+      if (rmaj.row(m).none()) majors_present.set(static_cast<std::uint32_t>(m), false);
+    }
+    acc_min.reset();
+    bystander_minors.reset();
+    left -= batch.size();
+    out.push_back(ParallelMove{dir, 1, std::move(batch)});
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<ParallelMove> legalize(const OccupancyGrid& grid, std::span<const Coord> sites,
                                    Direction dir, std::int32_t steps) {
   QRM_EXPECTS(steps >= 1);
   std::vector<ParallelMove> out;
   if (sites.empty()) return out;
 
-  OccupancyGrid scratch = grid;
-  std::vector<Coord> remaining = front_first(sites, dir);
-  for (const Coord& s : remaining) {
-    QRM_EXPECTS_MSG(scratch.in_bounds(s) && scratch.occupied(s),
-                    "legalize: site must hold an atom");
+  const bool horiz = is_horizontal(dir);
+  const Coord delta = direction_delta(dir);
+  const std::int32_t dmaj = horiz ? delta.col : delta.row;
+  const std::int32_t nmaj = horiz ? grid.width() : grid.height();
+  const std::int32_t nmin = horiz ? grid.height() : grid.width();
+
+  // Bucket the intended sites by major line (the coordinate the move
+  // changes). Enumerating the buckets front-first with minors ascending
+  // reproduces the historical front_first sort order — atoms nearest the
+  // destination side come first, so chain followers see their leaders
+  // handled first — in linear time, and doubles as the duplicate check:
+  // a duplicated site would pass the occupancy check (both copies see the
+  // same atom) and then be emitted twice inside one ParallelMove —
+  // physically one tweezer trying to pick the same atom up twice.
+  OccupancyGrid rmaj(nmaj, nmin);
+  BitRow majors_present(static_cast<std::uint32_t>(nmaj));
+  std::optional<Coord> duplicate;
+  for (const Coord& s : sites) {
+    QRM_EXPECTS_MSG(grid.in_bounds(s) && grid.occupied(s), "legalize: site must hold an atom");
+    const Coord bucket{horiz ? s.col : s.row, horiz ? s.row : s.col};
+    if (rmaj.occupied(bucket) && !duplicate.has_value()) duplicate = s;
+    rmaj.set(bucket);
+    majors_present.set(static_cast<std::uint32_t>(bucket.row));
   }
-  // A duplicated site would pass the occupancy check above (both copies see
-  // the same atom) and then be emitted twice inside one ParallelMove —
-  // physically one tweezer trying to pick the same atom up twice. front_first
-  // sorts by a total order on (row, col), so duplicates are adjacent.
-  for (std::size_t i = 1; i < remaining.size(); ++i) {
-    QRM_EXPECTS_MSG(remaining[i] != remaining[i - 1],
-                    "legalize: duplicate site " + qrm::to_string(remaining[i]) +
-                        " in the intended move set");
+  QRM_EXPECTS_MSG(!duplicate.has_value(),
+                  "legalize: duplicate site " + qrm::to_string(*duplicate) +
+                      " in the intended move set");
+
+  std::vector<Coord> remaining;
+  remaining.reserve(sites.size());
+  for (std::int32_t i = 0; i < nmaj; ++i) {
+    const std::int32_t m = dmaj < 0 ? i : nmaj - 1 - i;  // front-first
+    if (!majors_present.test(static_cast<std::uint32_t>(m))) continue;
+    const auto& ws = rmaj.row(m).words();
+    for (std::size_t w = 0; w < ws.size(); ++w) {
+      BitRow::Word bits = ws[w];
+      while (bits != 0) {
+        const auto x = static_cast<std::int32_t>(w * BitRow::kWordBits +
+                                                 static_cast<std::size_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+        remaining.push_back(horiz ? Coord{x, m} : Coord{m, x});
+      }
+    }
   }
 
   // Fast path: when the whole intended set is already legal as one lockstep
-  // command (frequent for sparse rounds), skip the greedy partition.
+  // command (frequent for sparse rounds), skip the greedy partition. For
+  // unit steps — every round the realizer lowers — both the legality probe
+  // and the greedy partition run word-parallel on the bucket grid; the
+  // source checks validate_move would repeat are already guaranteed by the
+  // preconditions above. Multi-step moves keep the per-candidate scan.
+  if (steps == 1) {
+    OccupancyGrid gmaj = horiz ? grid.flipped(Flip::Transpose) : grid;
+    BitRow minmask(static_cast<std::uint32_t>(nmin));
+    for (std::int32_t m = 0; m < nmaj; ++m)
+      if (majors_present.test(static_cast<std::uint32_t>(m))) minmask |= rmaj.row(m);
+    bool legal = true;
+    for (std::int32_t m = 0; m < nmaj && legal; ++m) {
+      if (!majors_present.test(static_cast<std::uint32_t>(m))) continue;
+      const std::int32_t p = m + dmaj;
+      if (p < 0 || p >= nmaj) {
+        legal = false;
+        break;
+      }
+      const auto& sw = rmaj.row(m).words();
+      const auto& po = gmaj.row(p).words();
+      const auto& ps = rmaj.row(p).words();
+      const auto& go = gmaj.row(m).words();
+      const auto& mm = minmask.words();
+      for (std::size_t w = 0; w < sw.size(); ++w) {
+        // A member's swept cell holding a non-member atom, or an AOD cross
+        // trap capturing a bystander, each veto the single-command form.
+        if ((sw[w] & po[w] & ~ps[w]) != 0 || (go[w] & mm[w] & ~sw[w]) != 0) {
+          legal = false;
+          break;
+        }
+      }
+    }
+    if (legal) return {ParallelMove{dir, 1, std::move(remaining)}};
+    return legalize_unit_step(grid, remaining, std::move(gmaj), std::move(rmaj),
+                              std::move(majors_present), dir);
+  }
   {
     ParallelMove whole{dir, steps, remaining};
     const bool legal = !validate_move(grid, whole, /*check_aod=*/true).has_value();
     if (legal) return {std::move(whole)};
   }
 
+  OccupancyGrid scratch = grid;
+  // Greedy partition on word-parallel state. The accept decisions and their
+  // order are bit-identical to the historical per-cell std::set scan; only
+  // the data structures changed: `member`/`member_t` are the batch-membership
+  // set as bit grids, `scratch_t` mirrors `scratch` transposed so the column
+  // cross-check reads whole words exactly like the row check, and
+  // `rowmask`/`colmask` are the accepted row/column sets.
+  OccupancyGrid scratch_t = scratch.flipped(Flip::Transpose);
+  OccupancyGrid member(grid.height(), grid.width());
+  OccupancyGrid member_t(grid.width(), grid.height());
+  BitRow colmask(static_cast<std::uint32_t>(grid.width()));
+  BitRow rowmask(static_cast<std::uint32_t>(grid.height()));
+
   while (!remaining.empty()) {
     std::vector<Coord> batch;
-    std::set<Coord> batch_set;
-    std::set<std::int32_t> rows;
-    std::set<std::int32_t> cols;
     std::vector<Coord> deferred;
 
     for (const Coord& s : remaining) {
@@ -111,35 +333,21 @@ std::vector<ParallelMove> legalize(const OccupancyGrid& grid, std::span<const Co
         const Coord cell = moved(s, dir, k);
         if (!scratch.in_bounds(cell)) {
           ok = false;
-        } else if (scratch.occupied(cell) && !batch_set.contains(cell)) {
+        } else if (scratch.occupied(cell) && !member.occupied(cell)) {
           ok = false;
         }
       }
       // AOD cross-product: new traps created by adding row s.row / col s.col
       // must not capture bystanders.
-      if (ok) {
-        for (const std::int32_t c : cols) {
-          const Coord cross{s.row, c};
-          if (scratch.occupied(cross) && !batch_set.contains(cross) && cross != s) {
-            ok = false;
-            break;
-          }
-        }
-      }
-      if (ok) {
-        for (const std::int32_t r : rows) {
-          const Coord cross{r, s.col};
-          if (scratch.occupied(cross) && !batch_set.contains(cross) && cross != s) {
-            ok = false;
-            break;
-          }
-        }
-      }
+      if (ok) ok = !aod_bystander_on_line(scratch.row(s.row), colmask, member.row(s.row), s.col);
+      if (ok)
+        ok = !aod_bystander_on_line(scratch_t.row(s.col), rowmask, member_t.row(s.col), s.row);
       if (ok) {
         batch.push_back(s);
-        batch_set.insert(s);
-        rows.insert(s.row);
-        cols.insert(s.col);
+        member.set(s);
+        member_t.set({s.col, s.row});
+        rowmask.set(static_cast<std::uint32_t>(s.row));
+        colmask.set(static_cast<std::uint32_t>(s.col));
       } else {
         deferred.push_back(s);
       }
@@ -149,13 +357,21 @@ std::vector<ParallelMove> legalize(const OccupancyGrid& grid, std::span<const Co
                     "legalize made no progress; the intended move set is not realisable");
 
     // Apply the batch to the scratch state: clear all sources, then set all
-    // destinations (lockstep semantics).
-    for (const Coord& s : batch) scratch.clear(s);
+    // destinations (lockstep semantics). Membership resets for the next batch.
+    for (const Coord& s : batch) {
+      scratch.clear(s);
+      scratch_t.clear({s.col, s.row});
+      member.clear(s);
+      member_t.clear({s.col, s.row});
+    }
     for (const Coord& s : batch) {
       const Coord d = moved(s, dir, steps);
       QRM_ENSURES_MSG(!scratch.occupied(d), "legalize produced a colliding batch");
       scratch.set(d);
+      scratch_t.set({d.col, d.row});
     }
+    rowmask.reset();
+    colmask.reset();
 
     out.push_back(ParallelMove{dir, steps, std::move(batch)});
     remaining = std::move(deferred);

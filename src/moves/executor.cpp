@@ -12,12 +12,24 @@ std::optional<std::string> validate_move(const OccupancyGrid& grid, const Parall
   if (move.sites.empty()) return "move has no sites";
   if (move.steps < 1) return "move step count must be >= 1";
 
+  // Source membership: a bit grid for large moves (O(1) probes, one
+  // allocation), a std::set below the crossover where the grid's memset
+  // would dominate. The outcome is identical either way.
+  const bool big = move.sites.size() >= 32;
+  OccupancyGrid member;
   std::set<Coord> sources;
+  if (big) member = OccupancyGrid(grid.height(), grid.width());
   for (const Coord& s : move.sites) {
     if (!grid.in_bounds(s)) return "source out of bounds: " + qrm::to_string(s);
     if (!grid.occupied(s)) return "source holds no atom: " + qrm::to_string(s);
-    if (!sources.insert(s).second) return "duplicate source: " + qrm::to_string(s);
+    if (big) {
+      if (member.occupied(s)) return "duplicate source: " + qrm::to_string(s);
+      member.set(s);
+    } else if (!sources.insert(s).second) {
+      return "duplicate source: " + qrm::to_string(s);
+    }
   }
+  const auto is_source = [&](Coord c) { return big ? member.occupied(c) : sources.contains(c); };
   for (const Coord& s : move.sites) {
     for (std::int32_t k = 1; k <= move.steps; ++k) {
       const Coord cell = moved(s, move.dir, k);
@@ -26,7 +38,7 @@ std::optional<std::string> validate_move(const OccupancyGrid& grid, const Parall
       }
       // Lockstep: a cell occupied by another member of this move is vacated
       // simultaneously and cannot collide; any other atom is a collision.
-      if (grid.occupied(cell) && !sources.contains(cell)) {
+      if (grid.occupied(cell) && !is_source(cell)) {
         return "collision with bystander atom at " + qrm::to_string(cell) + " while moving " +
                qrm::to_string(s);
       }

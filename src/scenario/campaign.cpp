@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <functional>
 #include <future>
 #include <limits>
 #include <memory>
@@ -53,14 +54,27 @@ std::string json_escape(const std::string& text) {
 }
 
 /// Pre-drawn workloads for every non-Uniform profile, with the same
-/// per-shot seed stream the generated path would use. Generation is
-/// deliberately serial and outside any stopwatch: determinism is trivial,
-/// and drawing a grid is cheap next to planning it.
-std::vector<OccupancyGrid> capture_workloads(const ScenarioSpec& spec) {
-  std::vector<OccupancyGrid> captured;
-  captured.reserve(spec.shots);
-  for (std::uint32_t shot = 0; shot < spec.shots; ++shot)
-    captured.push_back(generate_workload(spec, derive_seed(spec.seed, shot)));
+/// per-shot seed stream the generated path would use. With a pool, the
+/// draws fan out one task per shot — each shot's stream is derived
+/// independently and each task writes only its own slot, so the captured
+/// grids are bit-identical to the serial loop in every order (pinned by the
+/// shard/report byte-equality battery).
+std::vector<OccupancyGrid> capture_workloads(const ScenarioSpec& spec,
+                                             batch::ThreadPool* pool = nullptr) {
+  std::vector<OccupancyGrid> captured(spec.shots);
+  if (pool != nullptr && spec.shots > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(spec.shots);
+    for (std::uint32_t shot = 0; shot < spec.shots; ++shot) {
+      tasks.emplace_back([&spec, &captured, shot] {
+        captured[shot] = generate_workload(spec, derive_seed(spec.seed, shot));
+      });
+    }
+    pool->run_all(std::move(tasks));
+  } else {
+    for (std::uint32_t shot = 0; shot < spec.shots; ++shot)
+      captured[shot] = generate_workload(spec, derive_seed(spec.seed, shot));
+  }
   return captured;
 }
 
@@ -158,6 +172,7 @@ batch::BatchConfig to_batch_config(const ScenarioSpec& spec, std::uint32_t worke
   config.loss.background_loss = spec.background_loss;
   config.max_rounds = spec.max_rounds;
   config.keep_schedules = keep_schedules;
+  config.plan.intra_plan_workers = spec.intra_plan_workers;
   return config;
 }
 
@@ -167,6 +182,8 @@ ScenarioOutcome CampaignRunner::run_one(const ScenarioSpec& spec) const {
   validate(spec);
 
   batch::BatchConfig config = to_batch_config(spec, config_.workers, config_.keep_schedules);
+  if (config_.intra_plan_workers >= 0)
+    config.plan.intra_plan_workers = static_cast<std::uint32_t>(config_.intra_plan_workers);
   if (config_.plan_cache) config.plan_cache = std::make_shared<batch::PlanCache>();
   const batch::BatchPlanner planner(config);
   batch::BatchReport batch;
@@ -197,7 +214,14 @@ CampaignReport CampaignRunner::run_selected(const std::vector<const ScenarioSpec
   std::shared_ptr<batch::PlanCache> cache;
   if (config_.plan_cache) cache = std::make_shared<batch::PlanCache>();
 
-  // Per-scenario planners + pre-drawn workloads, built serially up front.
+  // One pool serves the whole shard: workload capture below, the
+  // scenarios x shots fan-out, and — via intra_plan_pool — every shot's
+  // quadrant tasks. Sharing one budget is the arbitration scheme; run_all's
+  // self-claiming join is what makes the nesting deadlock-free.
+  auto pool = std::make_shared<batch::ThreadPool>(config_.workers);
+
+  // Per-scenario planners + pre-drawn workloads, prepared up front (the
+  // draws themselves fan out on the pool).
   struct Prepared {
     batch::BatchPlanner planner;
     std::vector<OccupancyGrid> captured;  ///< empty for the Uniform generated path
@@ -206,10 +230,13 @@ CampaignReport CampaignRunner::run_selected(const std::vector<const ScenarioSpec
   prepared.reserve(selected.size());
   for (const ScenarioSpec* spec : selected) {
     batch::BatchConfig config = to_batch_config(*spec, config_.workers, config_.keep_schedules);
+    if (config_.intra_plan_workers >= 0)
+      config.plan.intra_plan_workers = static_cast<std::uint32_t>(config_.intra_plan_workers);
+    if (config.plan.intra_plan_workers > 0) config.plan.intra_plan_pool = pool;
     config.plan_cache = cache;
     prepared.push_back({batch::BatchPlanner(std::move(config)),
                         spec->load == LoadProfile::Uniform ? std::vector<OccupancyGrid>{}
-                                                           : capture_workloads(*spec)});
+                                                           : capture_workloads(*spec, pool.get())});
   }
 
   // Two-level fan-out: every (scenario, shot) is one task on one pool, so
@@ -233,14 +260,13 @@ CampaignReport CampaignRunner::run_selected(const std::vector<const ScenarioSpec
 
   Stopwatch wall;
   {
-    batch::ThreadPool pool(config_.workers);
-    report.workers = pool.worker_count();
+    report.workers = pool->worker_count();
 
     std::vector<std::vector<std::future<void>>> done(selected.size());
     for (std::size_t i = 0; i < selected.size(); ++i) {
       done[i].reserve(selected[i]->shots);
       for (std::uint32_t shot = 0; shot < selected[i]->shots; ++shot) {
-        done[i].push_back(pool.submit([this, i, shot, &prepared, &report, &timings, &wall] {
+        done[i].push_back(pool->submit([i, shot, &prepared, &report, &timings, &wall] {
           const Prepared& p = prepared[i];
           const auto start = static_cast<std::int64_t>(wall.elapsed_microseconds());
           report.scenarios[i].batch.shots[shot] =

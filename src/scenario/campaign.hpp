@@ -44,6 +44,12 @@ struct CampaignConfig {
   /// bit-identical either way; Pattern scenarios and repeated sweep cells
   /// skip replanning when on.
   bool plan_cache = true;
+  /// Campaign-level override of every spec's intra_plan_workers knob:
+  /// -1 = honour each spec, >= 0 = force this value. Plans are bit-identical
+  /// for any worker count, so the override changes no outcome, fingerprint,
+  /// or spec serialization — which is exactly what lets the golden corpus be
+  /// re-run under parallel planning without touching the specs.
+  std::int32_t intra_plan_workers = -1;
 };
 
 /// One scenario's batch outcome plus its SortedSample aggregation.

@@ -222,6 +222,8 @@ void validate(const ScenarioSpec& spec) {
   QRM_EXPECTS_MSG(spec.shots <= kMaxCount, "scenario shots exceeds the sanity cap");
   QRM_EXPECTS_MSG(spec.max_rounds > 0, "scenario max_rounds must be positive");
   QRM_EXPECTS_MSG(spec.max_rounds <= kMaxCount, "scenario max_rounds exceeds the sanity cap");
+  QRM_EXPECTS_MSG(spec.intra_plan_workers <= kMaxCount,
+                  "scenario intra_plan_workers exceeds the sanity cap");
   QRM_EXPECTS_MSG(std::isfinite(spec.photons_per_atom) && spec.photons_per_atom > 0.0 &&
                       spec.photons_per_atom <= kMaxPhotons,
                   "scenario photons_per_atom must be positive and finite");
@@ -303,6 +305,8 @@ std::string serialize(const ScenarioSpec& spec) {
   os << "mode=" << to_cstring(spec.mode) << "\n";
   os << "algorithm=" << spec.algorithm << "\n";
   os << "architecture=" << arch_key(spec.architecture) << "\n";
+  if (spec.intra_plan_workers != 0)
+    os << "intra_plan_workers=" << spec.intra_plan_workers << "\n";
   if (spec.imaged_detection) {
     os << "imaged_detection=true\n";
     os << "photons_per_atom=" << format_double(spec.photons_per_atom) << "\n";
@@ -405,6 +409,9 @@ ScenarioSpec parse_lines(const std::vector<SpecLine>& lines) {
           std::vector<std::pair<std::string, rt::Architecture>>{
               {arch_key(rt::Architecture::FpgaIntegrated), rt::Architecture::FpgaIntegrated},
               {arch_key(rt::Architecture::HostMediated), rt::Architecture::HostMediated}});
+    } else if (key == "intra_plan_workers") {
+      spec.intra_plan_workers =
+          static_cast<std::uint32_t>(parse_bounded(key, value, 0, kMaxCount));
     } else if (key == "imaged_detection") {
       if (value != "true" && value != "false")
         parse_fail("key '" + key + "': expected true|false, got '" + value + "'");

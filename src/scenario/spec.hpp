@@ -71,6 +71,12 @@ struct ScenarioSpec {
   PlanMode mode = PlanMode::Balanced;
   std::string algorithm = "qrm";    ///< baselines::algorithm_names() entry
   rt::Architecture architecture = rt::Architecture::FpgaIntegrated;
+  /// Intra-plan quadrant parallelism (QrmConfig::intra_plan_workers).
+  /// 0 = sequential planning (the default, and the serialized default: the
+  /// key is only emitted when nonzero, so existing spec fingerprints are
+  /// untouched). Plans are bit-identical for any value, so this knob is an
+  /// execution hint that cannot change an outcome fingerprint.
+  std::uint32_t intra_plan_workers = 0;
 
   // --- Imaged detection ---------------------------------------------------
   /// Plan on the *detected* occupancy of a rendered camera frame instead of

@@ -53,21 +53,6 @@ BitRow BitRow::from_string(std::string_view text) {
   return row;
 }
 
-bool BitRow::test(std::uint32_t i) const {
-  QRM_EXPECTS(i < width_);
-  return (words_[i / kWordBits] >> (i % kWordBits)) & 1U;
-}
-
-void BitRow::set(std::uint32_t i, bool value) {
-  QRM_EXPECTS(i < width_);
-  const Word mask = Word{1} << (i % kWordBits);
-  if (value) {
-    words_[i / kWordBits] |= mask;
-  } else {
-    words_[i / kWordBits] &= ~mask;
-  }
-}
-
 void BitRow::fill() {
   for (auto& w : words_) w = ~Word{0};
   mask_tail();

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "util/assert.hpp"
+
 namespace qrm {
 
 /// Fixed-width vector of bits with word-level storage (64-bit words,
@@ -41,10 +43,22 @@ class BitRow {
   [[nodiscard]] std::uint32_t width() const noexcept { return width_; }
   [[nodiscard]] bool empty() const noexcept { return width_ == 0; }
 
-  /// Read bit `i`. Precondition: i < width().
-  [[nodiscard]] bool test(std::uint32_t i) const;
+  /// Read bit `i`. Precondition: i < width(). Defined inline: this is the
+  /// innermost operation of every planner hot loop.
+  [[nodiscard]] bool test(std::uint32_t i) const {
+    QRM_EXPECTS(i < width_);
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1U;
+  }
   /// Write bit `i`. Precondition: i < width().
-  void set(std::uint32_t i, bool value = true);
+  void set(std::uint32_t i, bool value = true) {
+    QRM_EXPECTS(i < width_);
+    const Word mask = Word{1} << (i % kWordBits);
+    if (value) {
+      words_[i / kWordBits] |= mask;
+    } else {
+      words_[i / kWordBits] &= ~mask;
+    }
+  }
   void clear(std::uint32_t i) { set(i, false); }
   /// Set every bit in [0, width()).
   void fill();

@@ -1,0 +1,130 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/assert.hpp"
+
+namespace qrm {
+
+std::uint32_t ThreadPool::resolve_workers(std::uint32_t requested) noexcept {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::uint32_t workers) {
+  const std::uint32_t count = resolve_workers(workers);
+  workers_.reserve(count);
+  try {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread spawn failed (resource exhaustion): joinable threads must be
+    // joined before workers_ is destroyed or the runtime calls terminate.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    tasks.front()();  // nothing to fan out; run inline, throw inline
+    return;
+  }
+
+  // Shared by the caller and any helper that wakes up. Helpers hold the
+  // state via shared_ptr so a helper that only gets scheduled *after* the
+  // join completes (busy pool) finds the claim counter exhausted and
+  // returns without touching freed memory.
+  struct ForkJoin {
+    std::vector<std::function<void()>> tasks;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable finished;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<ForkJoin>();
+  state->tasks = std::move(tasks);
+
+  const auto drain = [state] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->tasks.size()) return;
+      try {
+        state->tasks[i]();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->first_error) state->first_error = std::current_exception();
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->tasks.size()) {
+        // Lock-then-notify so the joiner cannot miss the wakeup between its
+        // predicate check and its wait.
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        state->finished.notify_all();
+      }
+    }
+  };
+
+  // Helpers accelerate, the caller guarantees progress: enqueue at most one
+  // helper per worker (more could never run concurrently anyway).
+  const std::size_t helpers =
+      std::min<std::size_t>(worker_count(), state->tasks.size() - 1);
+  for (std::size_t h = 0; h < helpers; ++h) enqueue(drain);
+  drain();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->finished.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->tasks.size();
+  });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    QRM_EXPECTS_MSG(!stopping_, "submit() on a ThreadPool that is shutting down");
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Any exception escaped the packaged_task wrapper only if the task was
+    // enqueued raw; packaged_task stores it in the future instead.
+    task();
+  }
+}
+
+}  // namespace qrm

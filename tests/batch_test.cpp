@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <set>
@@ -92,6 +93,42 @@ TEST(ThreadPool, ShutdownDrainsQueuedTasksWithoutDeadlock) {
   }
   for (auto& future : done) future.get();
   EXPECT_EQ(executed.load(), 50);
+}
+
+TEST(ThreadPool, RunAllCompletesNestedFanOutFromAPoolTask) {
+  // Self-claiming fork-join: run_all called from *inside* a pool task must
+  // make progress even when the only worker is the caller itself. 1 worker,
+  // two nesting levels — a blocking join would deadlock (and trip the ctest
+  // TIMEOUT); the self-claiming caller drains its own fan-out.
+  batch::ThreadPool pool(1);
+  std::atomic<int> executed{0};
+  auto outer = pool.submit([&] {
+    std::vector<std::function<void()>> inner;
+    for (int i = 0; i < 8; ++i) {
+      inner.push_back([&] {
+        std::vector<std::function<void()>> leaf;
+        for (int j = 0; j < 4; ++j) leaf.push_back([&executed] { ++executed; });
+        pool.run_all(std::move(leaf));
+      });
+    }
+    pool.run_all(std::move(inner));
+  });
+  outer.get();
+  EXPECT_EQ(executed.load(), 32);
+}
+
+TEST(ThreadPool, RunAllRunsEveryTaskAndRethrowsTheFirstException) {
+  batch::ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([i, &executed] {
+      ++executed;
+      if (i == 5) throw std::runtime_error("fan-out boom");
+    });
+  }
+  EXPECT_THROW(pool.run_all(std::move(tasks)), std::runtime_error);
+  EXPECT_EQ(executed.load(), 16) << "a throwing task must not abandon its siblings";
 }
 
 // ---------------------------------------------------------------------------
@@ -191,6 +228,20 @@ TEST(BatchPlanner, StressShotsFarExceedWorkers) {
     EXPECT_EQ(pooled.shots[i].seed, derive_seed(config.master_seed, i));
     EXPECT_EQ(pooled.shots[i].final_grid, lone.final_grid) << "shot " << i;
     EXPECT_EQ(pooled.shots[i].atoms_lost, lone.atoms_lost) << "shot " << i;
+  }
+}
+
+TEST(BatchPlanner, NestedShotAndQuadrantParallelismStressStaysBitIdentical) {
+  // Nested stress for the pool-sharing arbitration: shots far exceed the
+  // workers while every shot fans quadrant tasks back onto the same pool.
+  // One budget, no oversubscription, and outcomes bit-identical to the run
+  // with intra-plan parallelism off — including on a 1-worker pool, where
+  // only the self-claiming run_all keeps the nesting deadlock-free.
+  const batch::BatchReport plain = batch::BatchPlanner(small_batch(24, 2)).run();
+  for (const std::uint32_t workers : {1u, 2u}) {
+    batch::BatchConfig config = small_batch(24, workers);
+    config.plan.intra_plan_workers = 4;
+    expect_same_outcomes(batch::BatchPlanner(config).run(), plain);
   }
 }
 

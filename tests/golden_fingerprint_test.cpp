@@ -49,10 +49,12 @@ std::uint64_t spec_fingerprint(const scenario::ScenarioSpec& spec) {
   return fnv::hash_text(serialize(spec));
 }
 
-std::uint64_t outcome_fingerprint(const scenario::ScenarioSpec& spec, bool plan_cache = true) {
+std::uint64_t outcome_fingerprint(const scenario::ScenarioSpec& spec, bool plan_cache = true,
+                                  std::int32_t intra_plan_workers = -1) {
   scenario::CampaignConfig config;
   config.workers = 4;  // fingerprints are worker-count independent
   config.plan_cache = plan_cache;
+  config.intra_plan_workers = intra_plan_workers;
   return scenario::CampaignRunner(config).run_one(spec).fingerprint;
 }
 
@@ -119,6 +121,23 @@ TEST(GoldenFingerprints, PatternScenariosMatchGoldenWithTheCacheOff) {
     if (row == nullptr || row->outcome_fingerprint == 0) continue;
     EXPECT_EQ(outcome_fingerprint(spec, /*plan_cache=*/false), row->outcome_fingerprint)
         << "cache-off outcome diverged from golden for '" << spec.name << "'";
+  }
+}
+
+TEST(GoldenFingerprints, OutcomesMatchGoldenUnderParallelPlanning) {
+  // The whole pinned corpus re-run with intra-plan quadrant parallelism
+  // forced on (campaign-level override, so the serialized specs — and with
+  // them the spec fingerprints — are untouched). Zero drift tolerated: the
+  // knob is an execution hint, and this is the corpus-wide proof.
+  for (const scenario::ScenarioSpec& spec : scenario::registry()) {
+    const GoldenRow* row = find_row(spec.name);
+    if (row == nullptr || row->outcome_fingerprint == 0) continue;
+    const std::uint64_t recomputed =
+        outcome_fingerprint(spec, /*plan_cache=*/true, /*intra_plan_workers=*/4);
+    EXPECT_EQ(recomputed, row->outcome_fingerprint)
+        << "parallel planning drifted the outcome for '" << spec.name << "': golden 0x"
+        << std::hex << row->outcome_fingerprint << ", recomputed 0x" << recomputed << std::dec
+        << "\nintra_plan_workers must never change a plan" << kRegenerateHint;
   }
 }
 

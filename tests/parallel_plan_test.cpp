@@ -1,0 +1,144 @@
+// Intra-plan parallelism battery: pins the tentpole determinism contract —
+// QrmConfig::intra_plan_workers is an execution hint that can never change a
+// plan. Sequential and quadrant-parallel planning must produce bit-identical
+// PlanResults (schedule, final grid, stats) for any worker count, any pool
+// topology (transient, shared, nested inside a busy pool), both pass modes,
+// and both control architectures; and the self-claiming run_all must make
+// nested shot×quadrant fan-out complete even on a 1-worker pool (every case
+// here carries the suite-wide ctest TIMEOUT, so a deadlock fails instead of
+// hanging). The suite runs under TSan in CI alongside batch_test.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "batch/batch_planner.hpp"
+#include "core/planner.hpp"
+#include "lattice/region.hpp"
+#include "runtime/control_system.hpp"
+#include "testutil.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qrm {
+namespace {
+
+/// The paper's centred-square rule at the suite's Bernoulli(0.55) load:
+/// ~0.6*size keeps every quadrant solvable at the sizes used here.
+[[nodiscard]] QrmConfig plan_config(std::int32_t size, PlanMode mode, std::uint32_t workers,
+                                    std::shared_ptr<ThreadPool> pool = nullptr) {
+  QrmConfig config;
+  config.target = centered_square(size, size * 6 / 10 / 2 * 2);
+  config.mode = mode;
+  config.intra_plan_workers = workers;
+  config.intra_plan_pool = std::move(pool);
+  return config;
+}
+
+TEST(ParallelPlan, BitEqualAcrossWorkerCountsGridsAndModes) {
+  for (const std::int32_t size : {64, 128, 256}) {
+    const OccupancyGrid grid = testutil::seeded_grid(size, size, 0.55, 0x9E3779B9u + size);
+    for (const PlanMode mode : {PlanMode::Compact, PlanMode::Balanced}) {
+      const PlanResult sequential = QrmPlanner(plan_config(size, mode, 0)).plan(grid);
+      for (const std::uint32_t workers : {1u, 2u, 4u, 8u}) {
+        const PlanResult parallel = QrmPlanner(plan_config(size, mode, workers)).plan(grid);
+        EXPECT_EQ(parallel, sequential)
+            << size << "x" << size << " " << to_cstring(mode) << " workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(ParallelPlan, TransientAndSharedPoolsAgreeWithSequential) {
+  const OccupancyGrid grid = testutil::seeded_grid(64, 64, 0.55, 77);
+  const PlanResult sequential = QrmPlanner(plan_config(64, PlanMode::Balanced, 0)).plan(grid);
+  // No pool supplied: QrmPlanner spins a transient one per call.
+  const PlanResult transient = QrmPlanner(plan_config(64, PlanMode::Balanced, 4)).plan(grid);
+  EXPECT_EQ(transient, sequential);
+  // Caller-owned shared pool (the BatchPlanner / CampaignRunner topology),
+  // reused across plans.
+  const auto pool = std::make_shared<ThreadPool>(2);
+  const QrmPlanner shared(plan_config(64, PlanMode::Balanced, 4, pool));
+  EXPECT_EQ(shared.plan(grid), sequential);
+  EXPECT_EQ(shared.plan(grid), sequential) << "pool reuse must not perturb plans";
+}
+
+TEST(ParallelPlan, NestedInsideBusySingleWorkerPoolCompletes) {
+  // Deadlock regression for the self-claiming run_all: plan *from a task of*
+  // a 1-worker pool while the quadrant tasks target that same pool. The only
+  // worker is occupied by the planning task itself, so helpers can never be
+  // scheduled before the caller finishes — the caller must drain its own
+  // fan-out. A blocking fork-join would deadlock here (and trip the ctest
+  // TIMEOUT); the self-claiming one completes with the sequential plan.
+  const OccupancyGrid grid = testutil::seeded_grid(32, 32, 0.55, 5);
+  const PlanResult sequential = QrmPlanner(plan_config(32, PlanMode::Balanced, 0)).plan(grid);
+  const auto pool = std::make_shared<ThreadPool>(1);
+  const QrmPlanner planner(plan_config(32, PlanMode::Balanced, 4, pool));
+  auto nested = pool->submit([&] { return planner.plan(grid); });
+  EXPECT_EQ(nested.get(), sequential);
+}
+
+TEST(ParallelPlan, ShotTimesQuadrantFanOutOnOneWorkerPoolCompletes) {
+  // N shots × M quadrant tasks arbitrated by one BatchPlanner pool of size 1:
+  // every shot task spawns quadrant tasks back onto the pool it runs on.
+  // Must complete (self-claiming progress guarantee) and match a run with
+  // parallelism fully off, fingerprint included.
+  batch::BatchConfig config;
+  config.plan.target = centered_square(32, 18);
+  config.shots = 6;
+  config.workers = 1;
+  config.grid_height = config.grid_width = 32;
+  config.max_rounds = 3;
+  const batch::BatchReport sequential = batch::BatchPlanner(config).run();
+  config.plan.intra_plan_workers = 4;
+  const batch::BatchReport nested = batch::BatchPlanner(config).run();
+  EXPECT_EQ(nested.fingerprint(), sequential.fingerprint());
+  ASSERT_EQ(nested.shots.size(), sequential.shots.size());
+  for (std::size_t i = 0; i < nested.shots.size(); ++i)
+    EXPECT_EQ(nested.shots[i].final_grid, sequential.shots[i].final_grid) << "shot " << i;
+}
+
+TEST(ParallelPlan, BothArchitecturesWorkflowInvariantUnderParallelPlanning) {
+  // The deterministic workflow outcome (fill, defects, command count, and
+  // the modelled AWG program time) must be invariant under the knob on both
+  // Fig. 2 architectures. Measured-latency fields (host-mediated detection /
+  // analysis wall time) are excluded — they are measurements, not outcomes.
+  const OccupancyGrid atoms = testutil::seeded_grid(20, 20, 0.7, 11);
+  for (const rt::Architecture architecture :
+       {rt::Architecture::HostMediated, rt::Architecture::FpgaIntegrated}) {
+    rt::SystemConfig config;
+    config.architecture = architecture;
+    config.accelerator.plan.target = centered_square(20, 12);
+    config.imaging.photons_per_atom = 400.0;  // high SNR: detection is exact
+    config.imaging.background_photons = 1.0;
+    config.detection.pixels_per_site = config.imaging.pixels_per_site;
+    const rt::WorkflowReport sequential = rt::ControlSystem(config).run(atoms);
+    config.accelerator.plan.intra_plan_workers = 4;
+    const rt::WorkflowReport parallel = rt::ControlSystem(config).run(atoms);
+    EXPECT_EQ(parallel.target_filled, sequential.target_filled) << to_cstring(architecture);
+    EXPECT_EQ(parallel.defects_remaining, sequential.defects_remaining)
+        << to_cstring(architecture);
+    EXPECT_EQ(parallel.schedule_commands, sequential.schedule_commands)
+        << to_cstring(architecture);
+    EXPECT_EQ(parallel.awg_program_us, sequential.awg_program_us) << to_cstring(architecture);
+  }
+}
+
+TEST(ParallelPlan, PhaseTimersAreMeasurementNotIdentity) {
+  // PlanStats::timers must populate (the bench's serial-residue breakdown
+  // depends on it) while staying outside plan identity: two runs with
+  // different timer values still compare equal.
+  const OccupancyGrid grid = testutil::seeded_grid(64, 64, 0.55, 3);
+  const PlanResult a = QrmPlanner(plan_config(64, PlanMode::Balanced, 0)).plan(grid);
+  EXPECT_GT(a.stats.timers.pass_compute_us + a.stats.timers.merge_us + a.stats.timers.realize_us,
+            0.0);
+  PlanResult b = a;
+  b.stats.timers.pass_compute_us += 1e6;
+  b.stats.timers.merge_us += 1e6;
+  b.stats.timers.realize_us += 1e6;
+  EXPECT_EQ(b, a);
+}
+
+}  // namespace
+}  // namespace qrm

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -333,6 +334,30 @@ TEST(PlanCacheProperty, FiftySeedCacheHitVsColdPlanBitEquality) {
 // Shard-merge equivalence: any shard count x any worker count must merge
 // to a report whose deterministic CSV/JSON bytes are identical to the
 // sequential single-shard run's.
+TEST(ParallelPlanProperty, FiftyRandomSeedsPlanBitEqualAcrossWorkerCounts) {
+  // The intra-plan determinism contract at property scale: across random
+  // even geometries, fills, and both pass modes, a quadrant-parallel plan
+  // (transient pool, worker count drawn per seed) is the bit-identical
+  // PlanResult of the sequential planner.
+  Rng rng(0xC0FFEE);
+  for (int seed = 0; seed < 50; ++seed) {
+    const std::int32_t size = 2 * static_cast<std::int32_t>(8 + rng.uniform_below(25));
+    const std::int32_t target = std::max<std::int32_t>(2, size * 6 / 10 / 2 * 2);
+    const double fill = 0.45 + 0.4 * rng.uniform01();
+    const OccupancyGrid grid = testutil::seeded_grid(size, size, fill, rng.next_u64());
+
+    QrmConfig config;
+    config.target = centered_square(size, target);
+    config.mode = seed % 2 == 0 ? PlanMode::Balanced : PlanMode::Compact;
+    const PlanResult sequential = QrmPlanner(config).plan(grid);
+
+    config.intra_plan_workers = 1 + rng.uniform_below(8);
+    EXPECT_EQ(QrmPlanner(config).plan(grid), sequential)
+        << "seed " << seed << ": " << size << "x" << size << " fill " << fill << " "
+        << to_cstring(config.mode) << " workers " << config.intra_plan_workers;
+  }
+}
+
 TEST(ShardProperty, AnyShardAndWorkerCountMergesToIdenticalReportBytes) {
   std::vector<scenario::ScenarioSpec> specs;
   for (int i = 0; i < 4; ++i) {
