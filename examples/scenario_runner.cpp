@@ -5,7 +5,7 @@
 //   scenario_runner list
 //   scenario_runner describe <name>
 //   scenario_runner run [--filter <substr|tag>] [--workers N]
-//                       [--intra-plan-workers N]
+//                       [--intra-plan-workers N] [--replan scratch|delta]
 //                       [--file <campaign.txt>] [--csv <path>] [--json <path>]
 //                       [--shards N] [--shard-index i] [--deterministic]
 //                       [--plan-cache on|off]
@@ -43,7 +43,7 @@ int usage() {
   std::cerr << "usage: scenario_runner list\n"
             << "       scenario_runner describe <name>\n"
             << "       scenario_runner run [--filter <substr|tag>] [--workers N]\n"
-            << "                           [--intra-plan-workers N]\n"
+            << "                           [--intra-plan-workers N] [--replan scratch|delta]\n"
             << "                           [--file <campaign.txt>] [--csv <path>] "
                "[--json <path>]\n"
             << "                           [--shards N] [--shard-index i] [--deterministic]\n"
@@ -119,6 +119,15 @@ int run_campaign(const std::vector<std::string>& args) {
       // Campaign-level override of every spec's knob; plans (and therefore
       // every fingerprint in the report) are identical for any value.
       config.intra_plan_workers = static_cast<std::int32_t>(workers);
+    } else if (arg == "--replan" && has_value) {
+      const std::string& value = args[++i];
+      if (value != "scratch" && value != "delta") {
+        std::cerr << "scenario_runner: --replan needs scratch|delta, got '" << value << "'\n";
+        return usage();
+      }
+      // Campaign-level override of every spec's knob; delta plans are
+      // bit-identical to scratch, so reports are unchanged except timing.
+      config.replan = value == "delta" ? 1 : 0;
     } else if (arg == "--shards" && has_value) {
       if (!parse_u32(args[++i], 4096, config.shards) || config.shards == 0) {
         std::cerr << "scenario_runner: --shards needs an integer in [1, 4096], got '"

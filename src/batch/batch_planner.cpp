@@ -9,6 +9,7 @@
 #include "baselines/algorithm.hpp"
 #include "batch/plan_cache.hpp"
 #include "batch/thread_pool.hpp"
+#include "core/delta_planner.hpp"
 #include "core/planner.hpp"
 #include "loading/loader.hpp"
 #include "runtime/control_system.hpp"
@@ -185,7 +186,20 @@ ShotResult BatchPlanner::run_shot_impl(std::uint32_t shot, const OccupancyGrid* 
 
   double plan_us = 0.0;
   rt::PlanFn plan_round;
-  if (config_.algorithm == "qrm") {
+  if (config_.algorithm == "qrm" && config_.replan == ReplanMode::Delta) {
+    // One stateful replanner per shot loop: rounds reuse the previous
+    // round's untouched quadrant kernels, bit-identical to scratch (see
+    // core/delta_planner.hpp). With a PlanCache in front, hit rounds skip
+    // the replanner entirely; its cached previous input just ages, and a
+    // later miss still diffs correctly against it.
+    plan_round = [replanner = std::make_shared<DeltaReplanner>(plan_config),
+                  &plan_us](const OccupancyGrid& state) {
+      Stopwatch watch;
+      PlanResult plan = replanner->plan(state);
+      plan_us += watch.elapsed_microseconds();
+      return plan;
+    };
+  } else if (config_.algorithm == "qrm") {
     plan_round = [planner = QrmPlanner(plan_config), &plan_us](const OccupancyGrid& state) {
       Stopwatch watch;
       PlanResult plan = planner.plan(state);

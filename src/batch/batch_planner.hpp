@@ -58,6 +58,13 @@ struct BatchConfig {
   std::uint32_t max_rounds = 10;   ///< lossy-loop round budget per shot
   bool keep_schedules = false;     ///< retain per-round schedules per shot
 
+  /// Replan strategy of each shot's lossy loop. Delta (honoured only by the
+  /// "qrm" algorithm; baselines always plan as given) reuses untouched
+  /// quadrant kernels round over round via core::DeltaReplanner — plans stay
+  /// bit-identical to Scratch, so outcomes, fingerprints, and PlanCache keys
+  /// are unchanged; only the planning time drops.
+  ReplanMode replan = ReplanMode::Scratch;
+
   /// Optional shared plan memoisation (see plan_cache.hpp). Null = off.
   /// Sharing one cache across batches/scenarios is what lets repeated
   /// sweep cells and Pattern shots skip plan_qrm; hits are bit-equal to

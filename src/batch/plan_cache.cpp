@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/assert.hpp"
 #include "util/fnv.hpp"
 
 namespace qrm::batch {
@@ -24,6 +25,7 @@ void mix_grid(std::uint64_t& hash, const OccupancyGrid& grid) noexcept {
 
 PlanCache::PlanCache(PlanCacheConfig config) : config_(config) {
   if (config_.max_entries == 0) config_.max_entries = 1;
+  QRM_EXPECTS_MSG(config_.key_bits < 64, "key_bits is a mask width: 1..63, or 0 for full keys");
 }
 
 std::uint64_t PlanCache::config_key(const std::string& algorithm,
@@ -43,9 +45,10 @@ std::uint64_t PlanCache::config_key(const std::string& algorithm,
 }
 
 std::uint64_t PlanCache::cell_key(std::uint64_t config_key,
-                                  const OccupancyGrid& grid) noexcept {
+                                  const OccupancyGrid& grid) const noexcept {
   std::uint64_t hash = config_key;
   mix_grid(hash, grid);
+  if (config_.key_bits != 0) hash &= (std::uint64_t{1} << config_.key_bits) - 1;
   return hash;
 }
 
@@ -79,14 +82,22 @@ std::shared_ptr<const PlanResult> PlanCache::insert(std::uint64_t config_key,
   insertion_order_.push_back(key);
   ++entries_;
 
-  // FIFO eviction. May evict the entry just inserted (max_entries == 1 with
+  // FIFO eviction, exact under collisions: insertion_order_ holds one deque
+  // entry per insert, entries within a bucket chain in insert order, so the
+  // front key's bucket-front entry is always the globally oldest insertion
+  // for that key. May evict the entry just inserted (max_entries == 1 with
   // distinct cells) — the caller's shared_ptr keeps the plan alive either
   // way, so `inserted` is returned, not a bucket lookup.
   while (entries_ > config_.max_entries) {
     const std::uint64_t oldest = insertion_order_.front();
     insertion_order_.pop_front();
     const auto victim = cells_.find(oldest);
-    if (victim == cells_.end() || victim->second.empty()) continue;
+    // The deque and the buckets are 1:1 (every push_back above pairs with
+    // one bucket append; eviction removes one of each). A missing or empty
+    // bucket means the accounting desynced — fail loudly instead of
+    // silently skipping, which would leave entries_ overcounting forever.
+    QRM_ENSURES_MSG(victim != cells_.end() && !victim->second.empty(),
+                    "plan cache accounting desync: insertion order names an empty bucket");
     victim->second.erase(victim->second.begin());
     if (victim->second.empty()) cells_.erase(victim);
     --entries_;

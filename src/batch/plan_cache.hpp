@@ -40,6 +40,13 @@ struct PlanCacheConfig {
   /// Entry cap; the oldest insertion is evicted when full (FIFO — plans
   /// recur shot-to-shot, so recency tracking buys little here).
   std::size_t max_entries = 1u << 14;
+  /// Test hook: mask cell keys down to the low N bits (1..63) so tests can
+  /// deterministically force distinct grids into one colliding bucket and
+  /// exercise the chained-eviction paths (a genuine 64-bit FNV collision is
+  /// not constructible on demand). 0 = full 64-bit keys, the production
+  /// default. Correctness is unaffected either way — hits are resolved by
+  /// grid equality, never by the hash alone.
+  std::uint32_t key_bits = 0;
 };
 
 struct PlanCacheStats {
@@ -96,8 +103,9 @@ class PlanCache {
     std::shared_ptr<const PlanResult> plan;
   };
 
-  [[nodiscard]] static std::uint64_t cell_key(std::uint64_t config_key,
-                                              const OccupancyGrid& grid) noexcept;
+  /// Full bucket key of one (config, grid) cell, masked per config_.key_bits.
+  [[nodiscard]] std::uint64_t cell_key(std::uint64_t config_key,
+                                       const OccupancyGrid& grid) const noexcept;
 
   PlanCacheConfig config_;
   mutable std::mutex mutex_;

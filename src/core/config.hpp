@@ -33,6 +33,23 @@ enum class PlanMode : std::uint8_t {
   return m == PlanMode::Compact ? "compact" : "balanced";
 }
 
+/// How the rearrangement loop replans between rounds.
+enum class ReplanMode : std::uint8_t {
+  /// Plan every round from scratch (the default, and the reference
+  /// behaviour delta mode is pinned against).
+  Scratch,
+  /// Incremental: diff the round's grid against the previous plan's input,
+  /// reuse cached quadrant-kernel outputs for quadrants the diff never
+  /// touches, and recompute only dirty ones. Bit-identical to Scratch by
+  /// construction (see core/delta_planner.hpp), so the knob never enters
+  /// plan fingerprints or cache keys.
+  Delta,
+};
+
+[[nodiscard]] constexpr const char* to_cstring(ReplanMode m) noexcept {
+  return m == ReplanMode::Scratch ? "scratch" : "delta";
+}
+
 struct QrmConfig {
   /// Global target region; must be even-sized and centred so each quadrant
   /// owns exactly one quarter of it.

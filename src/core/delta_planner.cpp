@@ -1,0 +1,94 @@
+#include "core/delta_planner.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "lattice/quadrant.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qrm {
+
+DeltaReplanner::DeltaReplanner(QrmConfig config, Options options)
+    : config_(std::move(config)), options_(options) {}
+
+PlanResult DeltaReplanner::plan(const OccupancyGrid& current) {
+  ++stats_.plans;
+
+  QrmConfig config = config_;
+  if (config.intra_plan_workers > 0 && config.intra_plan_pool == nullptr) {
+    // Mirror QrmPlanner::plan: standalone callers get a transient pool,
+    // layered callers (batch/campaign) share theirs via config_.
+    config.intra_plan_pool = std::make_shared<ThreadPool>(config.intra_plan_workers);
+  }
+
+  if (!has_previous_ || current.height() != prev_input_.height() ||
+      current.width() != prev_input_.width()) {
+    return scratch_plan(current, config);
+  }
+
+  const std::vector<Coord> dirty_sites = diff_positions(prev_input_, current);
+  if (dirty_sites.empty()) {
+    // Identical input: the previous plan is this plan.
+    ++stats_.whole_plan_reuses;
+    return prev_result_;
+  }
+  stats_.dirty_sites += dirty_sites.size();
+
+  const std::size_t limit =
+      options_.max_dirty_sites != 0
+          ? options_.max_dirty_sites
+          : static_cast<std::size_t>(current.height()) * static_cast<std::size_t>(current.width()) / 4;
+  const QuadrantGeometry geometry(current.height(), current.width());
+  const std::array<bool, 4> dirty = dirty_quadrant_mask(geometry, dirty_sites);
+  const bool all_dirty = dirty[0] && dirty[1] && dirty[2] && dirty[3];
+  if (dirty_sites.size() > limit || all_dirty) return scratch_plan(current, config);
+
+  return delta_plan(current, config, dirty);
+}
+
+void DeltaReplanner::reset() noexcept {
+  has_previous_ = false;
+  prev_input_ = {};
+  prev_passes_.clear();
+  prev_result_ = {};
+}
+
+PlanResult DeltaReplanner::scratch_plan(const OccupancyGrid& current, const QrmConfig& config) {
+  ++stats_.scratch_plans;
+  std::vector<QuadrantPass> captured;
+  PassDriver driver(current, config);
+  driver.capture_passes(&captured);
+  while (auto pass = driver.next()) driver.apply(std::move(*pass));
+  PlanResult result = driver.take_result();
+  remember(current, std::move(captured), result);
+  return result;
+}
+
+PlanResult DeltaReplanner::delta_plan(const OccupancyGrid& current, const QrmConfig& config,
+                                      const std::array<bool, 4>& dirty) {
+  ++stats_.delta_plans;
+  std::vector<QuadrantPass> captured;
+  PassReuseStats reuse;
+  PassDriver driver(current, config);
+  driver.capture_passes(&captured);
+  driver.reuse_passes(&prev_passes_, dirty, options_.paranoid, &reuse);
+  // The drive consumes prev_passes_ (reused entries are moved from); that is
+  // fine because remember() below replaces it wholesale with this drive's
+  // freshly captured trajectory.
+  while (auto pass = driver.next()) driver.apply(std::move(*pass));
+  PlanResult result = driver.take_result();
+  stats_.kernels_reused += reuse.kernels_reused;
+  stats_.kernels_computed += reuse.kernels_computed;
+  remember(current, std::move(captured), result);
+  return result;
+}
+
+void DeltaReplanner::remember(const OccupancyGrid& input, std::vector<QuadrantPass> passes,
+                              PlanResult result) {
+  prev_input_ = input;
+  prev_passes_ = std::move(passes);
+  prev_result_ = std::move(result);
+  has_previous_ = true;
+}
+
+}  // namespace qrm

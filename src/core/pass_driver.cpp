@@ -77,13 +77,39 @@ std::optional<QuadrantPass> PassDriver::next() {
   const Stopwatch watch;
   const std::int32_t quarter_rows = config_.target.rows / 2;
   const std::int32_t quarter_cols = config_.target.cols / 2;
+  // Delta replanning: pass k can serve clean quadrants from the previous
+  // drive's captured pass k if the pass kinds line up (they always do until
+  // compact-mode termination diverges, at which point extra passes simply
+  // compute fresh).
+  QuadrantPass* cached = nullptr;
+  if (reuse_source_ != nullptr && pass_index_ < reuse_source_->size()) {
+    QuadrantPass& prev = (*reuse_source_)[pass_index_];
+    if (prev.axis == pass.axis && prev.balance == pass.balance) cached = &prev;
+  }
   // The four quadrant kernels are data-independent: each reads the shared
   // (const) state and writes only its own index in the pass arrays. They
   // therefore fan out on the intra-plan pool without changing any result
   // bit; the feasibility fold happens after the join, and AND is
   // order-free, so the outcome matches the sequential loop exactly.
+  std::array<bool, 4> reused{};
   const auto compute_quadrant = [&](std::size_t qi) {
     const Quadrant q = kAllQuadrants[qi];
+    if (cached != nullptr && !reuse_dirty_[qi]) {
+      if (reuse_paranoid_) {
+        const OccupancyGrid fresh = geometry_.extract_local(state_, q);
+        QRM_ENSURES_MSG(fresh == cached->local_grids[qi],
+                        "delta reuse: clean quadrant's grid diverged from the cached pass input");
+      }
+      // Steal the cached kernel data rather than copying it: a deep copy is
+      // O(quadrant area), the same order as the extract+compute it replaces.
+      // Safe because each cached pass index is consumed at most once per
+      // drive and the source vector is discarded afterwards.
+      pass.local_grids[qi] = std::move(cached->local_grids[qi]);
+      pass.local_assignments[qi] = std::move(cached->local_assignments[qi]);
+      pass.balance_reports[qi] = cached->balance_reports[qi];
+      reused[qi] = true;
+      return;
+    }
     pass.local_grids[qi] = geometry_.extract_local(state_, q);
     if (pass.balance) {
       BalanceReport report;
@@ -108,12 +134,15 @@ std::optional<QuadrantPass> PassDriver::next() {
     for (const BalanceReport& report : pass.balance_reports)
       if (!report.feasible) stats_.feasible = false;
   }
+  if (reuse_stats_ != nullptr) {
+    for (const bool r : reused) (r ? reuse_stats_->kernels_reused : reuse_stats_->kernels_computed)++;
+  }
   stats_.timers.pass_compute_us += watch.elapsed_microseconds();
   awaiting_apply_ = true;
   return pass;
 }
 
-void PassDriver::apply(const QuadrantPass& pass) {
+void PassDriver::apply(QuadrantPass pass) {
   QRM_EXPECTS_MSG(awaiting_apply_, "apply() must follow a successful next()");
   awaiting_apply_ = false;
 
@@ -201,6 +230,8 @@ void PassDriver::apply(const QuadrantPass& pass) {
     stats_.timers.realize_us += realize_watch.elapsed_microseconds();
   }
   stats_.passes.push_back(info);
+  if (capture_sink_ != nullptr) capture_sink_->push_back(std::move(pass));
+  ++pass_index_;
 
   // Advance the pass program.
   switch (phase_) {

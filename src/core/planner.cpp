@@ -1,6 +1,7 @@
 #include "core/planner.hpp"
 
 #include <memory>
+#include <utility>
 
 #include "core/pass_driver.hpp"
 #include "util/thread_pool.hpp"
@@ -16,7 +17,7 @@ PlanResult QrmPlanner::plan(const OccupancyGrid& initial) const {
     config.intra_plan_pool = std::make_shared<ThreadPool>(config.intra_plan_workers);
   }
   PassDriver driver(initial, std::move(config));
-  while (auto pass = driver.next()) driver.apply(*pass);
+  while (auto pass = driver.next()) driver.apply(std::move(*pass));
   return driver.take_result();
 }
 

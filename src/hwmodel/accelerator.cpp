@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 #include <sstream>
+#include <utility>
 
 #include "core/pass_driver.hpp"
 #include "hwmodel/balance_unit.hpp"
@@ -205,7 +206,7 @@ AccelResult QrmAccelerator::run(const OccupancyGrid& initial) const {
     cycles.passes.push_back({name.str(), pass_cycles});
     ++pass_index;
 
-    driver.apply(*pass);
+    driver.apply(std::move(*pass));
   }
 
   result.plan = driver.take_result();

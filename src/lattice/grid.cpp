@@ -1,6 +1,7 @@
 #include "lattice/grid.hpp"
 
 #include <array>
+#include <bit>
 #include <sstream>
 
 #include "util/assert.hpp"
@@ -202,6 +203,38 @@ void OccupancyGrid::set_subgrid(const Region& region, const OccupancyGrid& conte
   for (std::int32_t r = 0; r < region.rows; ++r)
     rows_[static_cast<std::size_t>(region.row0 + r)].paste(static_cast<std::uint32_t>(region.col0),
                                                            content.rows_[static_cast<std::size_t>(r)]);
+}
+
+std::vector<Coord> diff_positions(const OccupancyGrid& a, const OccupancyGrid& b) {
+  QRM_EXPECTS_MSG(a.height() == b.height() && a.width() == b.width(),
+                  "diff_positions requires same-shaped grids");
+  std::vector<Coord> out;
+  for (std::int32_t r = 0; r < a.height(); ++r) {
+    const auto& wa = a.row(r).words();
+    const auto& wb = b.row(r).words();
+    for (std::size_t wi = 0; wi < wa.size(); ++wi) {
+      Word x = wa[wi] ^ wb[wi];
+      while (x != 0) {
+        const std::uint32_t bit = static_cast<std::uint32_t>(std::countr_zero(x));
+        out.push_back({r, static_cast<std::int32_t>(wi * kWordBits + bit)});
+        x &= x - 1;  // clear lowest set bit
+      }
+    }
+  }
+  return out;
+}
+
+std::int64_t diff_count(const OccupancyGrid& a, const OccupancyGrid& b) {
+  QRM_EXPECTS_MSG(a.height() == b.height() && a.width() == b.width(),
+                  "diff_count requires same-shaped grids");
+  std::int64_t n = 0;
+  for (std::int32_t r = 0; r < a.height(); ++r) {
+    const auto& wa = a.row(r).words();
+    const auto& wb = b.row(r).words();
+    for (std::size_t wi = 0; wi < wa.size(); ++wi)
+      n += std::popcount(wa[wi] ^ wb[wi]);
+  }
+  return n;
 }
 
 std::string OccupancyGrid::to_art() const {

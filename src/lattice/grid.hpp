@@ -105,4 +105,14 @@ class OccupancyGrid {
   std::vector<BitRow> rows_;
 };
 
+/// Sites whose occupancy differs between two same-shaped grids, row-major.
+/// Word-parallel (XOR + countr_zero per 64-bit word), so grids that differ in
+/// a handful of sites cost one scan over the words, not the cells.
+/// Precondition: a and b share height and width.
+[[nodiscard]] std::vector<Coord> diff_positions(const OccupancyGrid& a, const OccupancyGrid& b);
+
+/// Number of differing sites between two same-shaped grids (popcount of the
+/// XOR, no coordinate materialization). Precondition: same shape.
+[[nodiscard]] std::int64_t diff_count(const OccupancyGrid& a, const OccupancyGrid& b);
+
 }  // namespace qrm

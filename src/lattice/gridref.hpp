@@ -51,4 +51,19 @@ namespace qrm::ref {
   return g;
 }
 
+[[nodiscard]] inline std::vector<Coord> diff_positions(const OccupancyGrid& a,
+                                                       const OccupancyGrid& b) {
+  std::vector<Coord> out;
+  for (std::int32_t r = 0; r < a.height(); ++r)
+    for (std::int32_t c = 0; c < a.width(); ++c)
+      if (a.occupied({r, c}) != b.occupied({r, c})) out.push_back({r, c});
+  return out;
+}
+
+[[nodiscard]] inline std::int64_t diff_count(const OccupancyGrid& a, const OccupancyGrid& b) {
+  // Qualified call: ADL would also find qrm::diff_positions (the word-
+  // parallel implementation this one is the spec for) and make it ambiguous.
+  return static_cast<std::int64_t>(qrm::ref::diff_positions(a, b).size());
+}
+
 }  // namespace qrm::ref

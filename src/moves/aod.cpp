@@ -82,7 +82,7 @@ bool aod_bystander_on_line(const BitRow& occ, const BitRow& mask, const BitRow& 
 ///   * minor-axis cross checks: the only remaining per-candidate sweep.
 std::vector<ParallelMove> legalize_unit_step(const OccupancyGrid& grid,
                                              const std::vector<Coord>& sorted_sites,
-                                             OccupancyGrid gmaj, OccupancyGrid rmaj,
+                                             OccupancyGrid& gmaj, OccupancyGrid rmaj,
                                              BitRow majors_present, Direction dir) {
   const bool horiz = is_horizontal(dir);
   const Coord delta = direction_delta(dir);
@@ -215,8 +215,11 @@ std::vector<ParallelMove> legalize_unit_step(const OccupancyGrid& grid,
 }  // namespace
 
 std::vector<ParallelMove> legalize(const OccupancyGrid& grid, std::span<const Coord> sites,
-                                   Direction dir, std::int32_t steps) {
+                                   Direction dir, std::int32_t steps,
+                                   OccupancyGrid* unit_major_mirror) {
   QRM_EXPECTS(steps >= 1);
+  QRM_EXPECTS_MSG(unit_major_mirror == nullptr || steps == 1,
+                  "legalize: major mirror is only supported for unit steps");
   std::vector<ParallelMove> out;
   if (sites.empty()) return out;
 
@@ -272,7 +275,12 @@ std::vector<ParallelMove> legalize(const OccupancyGrid& grid, std::span<const Co
   // source checks validate_move would repeat are already guaranteed by the
   // preconditions above. Multi-step moves keep the per-candidate scan.
   if (steps == 1) {
-    OccupancyGrid gmaj = horiz ? grid.flipped(Flip::Transpose) : grid;
+    // The probe and the greedy partition both read the grid in major-line
+    // orientation; a caller-maintained mirror skips the O(area) rederivation.
+    OccupancyGrid owned_gmaj;
+    if (unit_major_mirror == nullptr)
+      owned_gmaj = horiz ? grid.flipped(Flip::Transpose) : grid;
+    OccupancyGrid& gmaj = unit_major_mirror != nullptr ? *unit_major_mirror : owned_gmaj;
     BitRow minmask(static_cast<std::uint32_t>(nmin));
     for (std::int32_t m = 0; m < nmaj; ++m)
       if (majors_present.test(static_cast<std::uint32_t>(m))) minmask |= rmaj.row(m);
@@ -298,9 +306,25 @@ std::vector<ParallelMove> legalize(const OccupancyGrid& grid, std::span<const Co
         }
       }
     }
-    if (legal) return {ParallelMove{dir, 1, std::move(remaining)}};
-    return legalize_unit_step(grid, remaining, std::move(gmaj), std::move(rmaj),
-                              std::move(majors_present), dir);
+    if (legal) {
+      // Keep the mirror tracking the post-move grid (the greedy path does
+      // this batch by batch inside legalize_unit_step).
+      if (unit_major_mirror != nullptr) {
+        for (const Coord& s : remaining) {
+          const std::int32_t m = horiz ? s.col : s.row;
+          const std::int32_t x = horiz ? s.row : s.col;
+          gmaj.clear({m, x});
+        }
+        for (const Coord& s : remaining) {
+          const std::int32_t m = (horiz ? s.col : s.row) + dmaj;
+          const std::int32_t x = horiz ? s.row : s.col;
+          gmaj.set({m, x});
+        }
+      }
+      return {ParallelMove{dir, 1, std::move(remaining)}};
+    }
+    return legalize_unit_step(grid, remaining, gmaj, std::move(rmaj), std::move(majors_present),
+                              dir);
   }
   {
     ParallelMove whole{dir, steps, remaining};

@@ -38,8 +38,18 @@ namespace qrm {
 /// occupied and their intended destinations must be collision-free as a
 /// whole (i.e. the *intent* is valid; legalisation only handles the AOD
 /// cross-product and intra-set ordering).
+///
+/// `unit_major_mirror` (unit steps only) is a caller-maintained copy of the
+/// grid in major-line orientation — transposed for horizontal moves, plain
+/// for vertical — that legalize reads instead of re-deriving it (an O(area)
+/// transpose or copy otherwise paid on every call; the realizer calls this
+/// once per unit round). On return the mirror reflects `grid` AFTER the
+/// returned moves are applied, so a caller stepping many rounds keeps one
+/// mirror in sync for the whole sequence. The accept decisions are
+/// byte-identical with or without a mirror.
 [[nodiscard]] std::vector<ParallelMove> legalize(const OccupancyGrid& grid,
                                                  std::span<const Coord> sites, Direction dir,
-                                                 std::int32_t steps);
+                                                 std::int32_t steps,
+                                                 OccupancyGrid* unit_major_mirror = nullptr);
 
 }  // namespace qrm

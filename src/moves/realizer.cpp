@@ -44,31 +44,36 @@ void validate_assignment(const OccupancyGrid& grid, Axis axis, const LineAssignm
   // Full-line order consistency: merge fixed atoms (unselected) with the
   // moving atoms' targets in source order; the sequence must stay strictly
   // increasing and duplicate-free, or motion would require passing an atom.
-  std::set<std::int32_t> selected(a.sources.begin(), a.sources.end());
-  std::vector<std::int32_t> final_positions;
+  // Sources are strictly ascending (checked above), so a two-pointer sweep
+  // pairs each selected occupied site with its target in index order —
+  // no set lookups or per-line allocations on this hot path.
   std::size_t next_moving = 0;
+  std::int32_t prev_final = -1;
+  bool have_prev = false;
   for (std::int32_t pos = 0; pos < line_length; ++pos) {
     if (!grid.occupied(to_coord(axis, a.line, pos))) continue;
-    if (selected.contains(pos)) {
-      final_positions.push_back(a.targets[next_moving++]);
-    } else {
-      final_positions.push_back(pos);
+    std::int32_t final_pos = pos;
+    if (next_moving < a.sources.size() && a.sources[next_moving] == pos) {
+      final_pos = a.targets[next_moving++];
     }
-  }
-  for (std::size_t i = 1; i < final_positions.size(); ++i) {
-    QRM_EXPECTS_MSG(final_positions[i] > final_positions[i - 1],
+    QRM_EXPECTS_MSG(!have_prev || final_pos > prev_final,
                     "assignment would require an atom to pass another in line " +
                         std::to_string(a.line));
+    prev_final = final_pos;
+    have_prev = true;
   }
 }
 
 /// Emit one unit-step round (all `sites` move one step in `dir`), splitting
 /// into AOD-legal sub-moves when requested, and advance the grid.
+/// `major_mirror` (nullable) is the grid in major-line orientation, kept in
+/// sync by legalize across rounds so each round skips an O(area) transpose.
 void emit_round(OccupancyGrid& grid, std::vector<Coord> sites, Direction dir,
-                Schedule& schedule, const RealizeOptions& options) {
+                Schedule& schedule, const RealizeOptions& options,
+                OccupancyGrid* major_mirror) {
   if (sites.empty()) return;
   if (options.aod_legalize) {
-    for (auto& sub : legalize(grid, sites, dir, 1)) {
+    for (auto& sub : legalize(grid, sites, dir, 1, major_mirror)) {
       apply_move_unchecked(grid, sub);
       schedule.push_back(std::move(sub));
     }
@@ -86,7 +91,8 @@ void emit_round(OccupancyGrid& grid, std::vector<Coord> sites, Direction dir,
 /// round only touches the prefix still in motion; total work is the sum of
 /// displacements, not movers x rounds.
 std::size_t run_phase(OccupancyGrid& grid, Axis axis, std::vector<Mover>& movers,
-                      bool toward_origin, Schedule& schedule, const RealizeOptions& options) {
+                      bool toward_origin, Schedule& schedule, const RealizeOptions& options,
+                      OccupancyGrid* major_mirror) {
   const Direction dir = axis == Axis::Rows
                             ? (toward_origin ? Direction::West : Direction::East)
                             : (toward_origin ? Direction::North : Direction::South);
@@ -107,7 +113,7 @@ std::size_t run_phase(OccupancyGrid& grid, Axis axis, std::vector<Mover>& movers
     std::vector<Coord> stepping;
     stepping.reserve(active.size());
     for (Mover* m : active) stepping.push_back(to_coord(axis, m->line, m->pos));
-    emit_round(grid, std::move(stepping), dir, schedule, options);
+    emit_round(grid, std::move(stepping), dir, schedule, options, major_mirror);
     for (Mover* m : active) m->pos += delta;
     // Arrived movers form a suffix of the displacement-sorted list.
     while (!active.empty() && remaining(*active.back()) == 0) active.pop_back();
@@ -134,11 +140,21 @@ RealizeResult realize_assignments(OccupancyGrid& grid, Axis axis,
 
   RealizeResult result;
   result.atoms_moved = movers.size();
+  // All rounds of both phases move along `axis`, so one major-oriented copy
+  // of the grid (transposed for row moves, plain for column moves) serves
+  // every legalize call; legalize advances it move by move, replacing the
+  // O(area) transpose it would otherwise pay per unit round.
+  OccupancyGrid major_mirror;
+  OccupancyGrid* mirror_ptr = nullptr;
+  if (options.aod_legalize && !movers.empty()) {
+    major_mirror = axis == Axis::Rows ? grid.flipped(Flip::Transpose) : grid;
+    mirror_ptr = &major_mirror;
+  }
   // Toward-origin movers are provably never blocked by fixed atoms, arrived
   // atoms, or away-movers (order preservation forbids all three), so the
   // phase completes in max|displacement| rounds; the away phase mirrors it.
-  result.rounds_toward_origin = run_phase(grid, axis, movers, true, schedule, options);
-  result.rounds_away = run_phase(grid, axis, movers, false, schedule, options);
+  result.rounds_toward_origin = run_phase(grid, axis, movers, true, schedule, options, mirror_ptr);
+  result.rounds_away = run_phase(grid, axis, movers, false, schedule, options, mirror_ptr);
 
   for (const auto& m : movers) {
     QRM_ENSURES_MSG(m.pos == m.target, "realizer failed to deliver an atom");

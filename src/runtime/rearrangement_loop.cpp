@@ -1,6 +1,7 @@
 #include "runtime/rearrangement_loop.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "core/planner.hpp"
 #include "util/assert.hpp"
@@ -15,14 +16,7 @@ namespace {
 /// Atoms are moved front-first so surviving lockstep chains stay valid.
 std::int64_t apply_lossy_move(OccupancyGrid& state, const ParallelMove& move, Rng& rng,
                               double per_move_loss) {
-  std::vector<Coord> sites = move.sites;
-  const auto front_key = [&](const Coord& a) {
-    const Coord d = direction_delta(move.dir);
-    return -(a.row * d.row + a.col * d.col);  // most-advanced site first
-  };
-  std::sort(sites.begin(), sites.end(),
-            [&](const Coord& a, const Coord& b) { return front_key(a) < front_key(b); });
-
+  const std::vector<Coord> sites = lossy_move_order(move);
   std::int64_t lost = 0;
   for (const Coord& s : sites) {
     if (!state.occupied(s)) continue;  // atom vanished before this command
@@ -60,7 +54,36 @@ std::int64_t apply_background_loss(OccupancyGrid& state, Rng& rng, double p) {
 
 }  // namespace
 
+std::vector<Coord> lossy_move_order(const ParallelMove& move) {
+  std::vector<Coord> sites = move.sites;
+  const Coord d = direction_delta(move.dir);
+  const auto front_key = [&](const Coord& a) {
+    return -(a.row * d.row + a.col * d.col);  // most-advanced site first
+  };
+  // Full tie-break: sites abreast of each other (equal front key) order by
+  // (row, col). The front key alone left ties to std::sort's whims, and tied
+  // sites are the common case — every site of a merged move on the axis
+  // perpendicular to the direction shares a key.
+  std::sort(sites.begin(), sites.end(), [&](const Coord& a, const Coord& b) {
+    const auto ka = front_key(a);
+    const auto kb = front_key(b);
+    if (ka != kb) return ka < kb;
+    if (a.row != b.row) return a.row < b.row;
+    return a.col < b.col;
+  });
+  return sites;
+}
+
 LoopReport run_rearrangement_loop(const OccupancyGrid& initial, const LoopConfig& config) {
+  if (config.replan == ReplanMode::Delta) {
+    // One stateful replanner for the whole loop: round k+1 reuses round k's
+    // untouched quadrant kernels, bit-identical to scratch by construction.
+    auto replanner = std::make_shared<DeltaReplanner>(config.plan);
+    LoopReport report = run_rearrangement_loop(
+        initial, config, [replanner](const OccupancyGrid& state) { return replanner->plan(state); });
+    report.replan = replanner->stats();
+    return report;
+  }
   const QrmPlanner planner(config.plan);
   return run_rearrangement_loop(initial, config,
                                 [&](const OccupancyGrid& state) { return planner.plan(state); });
@@ -84,10 +107,7 @@ LoopReport run_rearrangement_loop(const OccupancyGrid& initial, const LoopConfig
     rr.defects_before =
         static_cast<std::int64_t>(config.plan.target.area()) - state.atom_count(config.plan.target);
 
-    if (rr.defects_before == 0) {
-      report.success = true;
-      break;
-    }
+    if (rr.defects_before == 0) break;  // already defect-free, nothing to plan
 
     // Re-image (perfect detection) and plan against the current world.
     const PlanResult plan = plan_round(state);
@@ -102,15 +122,15 @@ LoopReport run_rearrangement_loop(const OccupancyGrid& initial, const LoopConfig
     report.total_atoms_lost += rr.atoms_lost;
     report.rounds.push_back(rr);
 
-    if (rr.filled_after) {
-      report.success = true;
-      break;
-    }
+    if (rr.filled_after) break;
     if (rr.atoms_before - rr.atoms_lost <
         static_cast<std::int64_t>(config.plan.target.area())) {
       break;  // not enough atoms left to ever succeed
     }
   }
+  // The one authoritative success computation: success means (and can only
+  // mean) the final grid's target is defect-free. The early breaks above
+  // no longer set the flag themselves, so it cannot diverge from the grid.
   report.success = state.region_full(config.plan.target);
   return report;
 }

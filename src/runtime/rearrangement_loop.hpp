@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/delta_planner.hpp"
 #include "lattice/grid.hpp"
 #include "moves/schedule.hpp"
 #include "util/rng.hpp"
@@ -49,6 +50,12 @@ struct LoopConfig {
   /// Retain every round's schedule in LoopReport::schedules (off by default:
   /// schedules are large and only replay-style tests need them).
   bool keep_schedules = false;
+  /// Scratch replans every round from nothing; Delta reuses the previous
+  /// round's quadrant kernels where loss left quadrants untouched
+  /// (core/delta_planner.hpp), producing bit-identical plans either way.
+  /// Only the QrmPlanner overload honours Delta; the PlanFn overload's
+  /// planner is opaque and always runs as given.
+  ReplanMode replan = ReplanMode::Scratch;
 };
 
 struct RoundReport {
@@ -65,9 +72,21 @@ struct LoopReport {
   std::int64_t total_atoms_lost = 0;
   OccupancyGrid final_grid;
   std::vector<Schedule> schedules;  ///< per-round, only when keep_schedules
+  /// Reuse accounting when the loop ran with ReplanMode::Delta (all zeros
+  /// under Scratch or the PlanFn overload). Measurement only — plans are
+  /// bit-identical either way.
+  DeltaReplanStats replan;
 
   [[nodiscard]] std::size_t rounds_used() const noexcept { return rounds.size(); }
 };
+
+/// The order the loop executes one parallel move's sites in: front-most
+/// along the move direction first (so surviving lockstep chains stay valid),
+/// ties — sites abreast of each other perpendicular to the direction —
+/// broken by (row, col) ascending. The tie-break is load-bearing: each site
+/// consumes RNG draws, so an unspecified tie order (the old plain std::sort
+/// on the front key) let loss outcomes differ across standard libraries.
+[[nodiscard]] std::vector<Coord> lossy_move_order(const ParallelMove& move);
 
 /// Produces the schedule for one round given the current (re-imaged) world.
 /// Must be a pure function of its argument — the loop may be replayed for

@@ -173,6 +173,7 @@ batch::BatchConfig to_batch_config(const ScenarioSpec& spec, std::uint32_t worke
   config.max_rounds = spec.max_rounds;
   config.keep_schedules = keep_schedules;
   config.plan.intra_plan_workers = spec.intra_plan_workers;
+  config.replan = spec.replan;
   return config;
 }
 
@@ -184,6 +185,8 @@ ScenarioOutcome CampaignRunner::run_one(const ScenarioSpec& spec) const {
   batch::BatchConfig config = to_batch_config(spec, config_.workers, config_.keep_schedules);
   if (config_.intra_plan_workers >= 0)
     config.plan.intra_plan_workers = static_cast<std::uint32_t>(config_.intra_plan_workers);
+  if (config_.replan >= 0)
+    config.replan = config_.replan == 0 ? ReplanMode::Scratch : ReplanMode::Delta;
   if (config_.plan_cache) config.plan_cache = std::make_shared<batch::PlanCache>();
   const batch::BatchPlanner planner(config);
   batch::BatchReport batch;
@@ -232,6 +235,8 @@ CampaignReport CampaignRunner::run_selected(const std::vector<const ScenarioSpec
     batch::BatchConfig config = to_batch_config(*spec, config_.workers, config_.keep_schedules);
     if (config_.intra_plan_workers >= 0)
       config.plan.intra_plan_workers = static_cast<std::uint32_t>(config_.intra_plan_workers);
+    if (config_.replan >= 0)
+      config.replan = config_.replan == 0 ? ReplanMode::Scratch : ReplanMode::Delta;
     if (config.plan.intra_plan_workers > 0) config.plan.intra_plan_pool = pool;
     config.plan_cache = cache;
     prepared.push_back({batch::BatchPlanner(std::move(config)),

@@ -50,6 +50,12 @@ struct CampaignConfig {
   /// or spec serialization — which is exactly what lets the golden corpus be
   /// re-run under parallel planning without touching the specs.
   std::int32_t intra_plan_workers = -1;
+  /// Campaign-level override of every spec's replan knob: -1 = honour each
+  /// spec, 0 = force Scratch, 1 = force Delta. Delta plans are bit-identical
+  /// to scratch, so — like intra_plan_workers — the override changes no
+  /// outcome, fingerprint, or spec serialization, which is what lets the
+  /// golden corpus be re-run under ReplanMode::Delta untouched.
+  std::int32_t replan = -1;
 };
 
 /// One scenario's batch outcome plus its SortedSample aggregation.

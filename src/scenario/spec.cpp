@@ -307,6 +307,7 @@ std::string serialize(const ScenarioSpec& spec) {
   os << "architecture=" << arch_key(spec.architecture) << "\n";
   if (spec.intra_plan_workers != 0)
     os << "intra_plan_workers=" << spec.intra_plan_workers << "\n";
+  if (spec.replan != ReplanMode::Scratch) os << "replan=" << to_cstring(spec.replan) << "\n";
   if (spec.imaged_detection) {
     os << "imaged_detection=true\n";
     os << "photons_per_atom=" << format_double(spec.photons_per_atom) << "\n";
@@ -412,6 +413,10 @@ ScenarioSpec parse_lines(const std::vector<SpecLine>& lines) {
     } else if (key == "intra_plan_workers") {
       spec.intra_plan_workers =
           static_cast<std::uint32_t>(parse_bounded(key, value, 0, kMaxCount));
+    } else if (key == "replan") {
+      spec.replan = parse_enum(key, value,
+                               std::vector<std::pair<std::string, ReplanMode>>{
+                                   {"scratch", ReplanMode::Scratch}, {"delta", ReplanMode::Delta}});
     } else if (key == "imaged_detection") {
       if (value != "true" && value != "false")
         parse_fail("key '" + key + "': expected true|false, got '" + value + "'");

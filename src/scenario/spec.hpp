@@ -77,6 +77,13 @@ struct ScenarioSpec {
   /// untouched). Plans are bit-identical for any value, so this knob is an
   /// execution hint that cannot change an outcome fingerprint.
   std::uint32_t intra_plan_workers = 0;
+  /// Loop replan strategy (BatchConfig::replan): `replan=delta` reuses
+  /// untouched quadrant kernels round over round. Scratch is the default
+  /// and the serialized default (the key is only emitted for Delta, so
+  /// existing spec fingerprints are untouched). Like intra_plan_workers,
+  /// this is an execution hint — delta plans are bit-identical to scratch,
+  /// so it can never change an outcome fingerprint.
+  ReplanMode replan = ReplanMode::Scratch;
 
   // --- Imaged detection ---------------------------------------------------
   /// Plan on the *detected* occupancy of a rendered camera frame instead of

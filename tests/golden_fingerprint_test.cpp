@@ -50,11 +50,13 @@ std::uint64_t spec_fingerprint(const scenario::ScenarioSpec& spec) {
 }
 
 std::uint64_t outcome_fingerprint(const scenario::ScenarioSpec& spec, bool plan_cache = true,
-                                  std::int32_t intra_plan_workers = -1) {
+                                  std::int32_t intra_plan_workers = -1,
+                                  std::int32_t replan = -1) {
   scenario::CampaignConfig config;
   config.workers = 4;  // fingerprints are worker-count independent
   config.plan_cache = plan_cache;
   config.intra_plan_workers = intra_plan_workers;
+  config.replan = replan;
   return scenario::CampaignRunner(config).run_one(spec).fingerprint;
 }
 
@@ -138,6 +140,26 @@ TEST(GoldenFingerprints, OutcomesMatchGoldenUnderParallelPlanning) {
         << "parallel planning drifted the outcome for '" << spec.name << "': golden 0x"
         << std::hex << row->outcome_fingerprint << ", recomputed 0x" << recomputed << std::dec
         << "\nintra_plan_workers must never change a plan" << kRegenerateHint;
+  }
+}
+
+TEST(GoldenFingerprints, OutcomesMatchGoldenUnderDeltaReplanning) {
+  // The whole pinned corpus re-run with ReplanMode::Delta forced on
+  // (campaign-level override; serialized specs and spec fingerprints
+  // untouched). Zero drift tolerated: delta replanning reuses quadrant
+  // kernels but must produce bit-identical plans, so every loss draw, every
+  // round count, and every final grid lands on the scratch value. The
+  // plan cache stays off so every single round actually exercises the
+  // delta path instead of being served a memoised scratch plan.
+  for (const scenario::ScenarioSpec& spec : scenario::registry()) {
+    const GoldenRow* row = find_row(spec.name);
+    if (row == nullptr || row->outcome_fingerprint == 0) continue;
+    const std::uint64_t recomputed = outcome_fingerprint(spec, /*plan_cache=*/false,
+                                                         /*intra_plan_workers=*/-1, /*replan=*/1);
+    EXPECT_EQ(recomputed, row->outcome_fingerprint)
+        << "delta replanning drifted the outcome for '" << spec.name << "': golden 0x"
+        << std::hex << row->outcome_fingerprint << ", recomputed 0x" << recomputed << std::dec
+        << "\ndelta plans must be bit-identical to scratch" << kRegenerateHint;
   }
 }
 

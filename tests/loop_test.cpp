@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "util/assert.hpp"
 #include "detection/calibration.hpp"
 #include "loading/loader.hpp"
@@ -75,6 +78,116 @@ TEST(RearrangementLoop, DeterministicPerSeed) {
   EXPECT_EQ(a.rounds_used(), b.rounds_used());
   EXPECT_EQ(a.total_atoms_lost, b.total_atoms_lost);
   EXPECT_EQ(a.final_grid, b.final_grid);
+}
+
+TEST(RearrangementLoop, LossyMoveOrderBreaksTiesByRowThenColumn) {
+  // Regression for the sort-tie bug: the execution order used to sort on
+  // the front key alone, leaving sites abreast of each other (the common
+  // case — a merged move's sites share the coordinate perpendicular to the
+  // direction) in std::sort's unspecified tie order. Each site consumes RNG
+  // draws, so tie order IS loss outcome; it must be fully specified.
+  ParallelMove west;
+  west.dir = Direction::West;
+  west.steps = 1;
+  west.sites = {{2, 5}, {0, 5}, {1, 5}, {1, 3}};
+  // Front key for West is the column: (1,3) leads, then the col-5 tie
+  // group in (row, col) order.
+  const std::vector<Coord> west_order = rt::lossy_move_order(west);
+  const std::vector<Coord> west_expected = {{1, 3}, {0, 5}, {1, 5}, {2, 5}};
+  EXPECT_EQ(west_order, west_expected);
+
+  ParallelMove north;
+  north.dir = Direction::North;
+  north.steps = 2;
+  north.sites = {{4, 3}, {4, 1}, {2, 2}, {4, 2}};
+  // Front key for North is the row: (2,2) leads, then the row-4 tie group
+  // in column order.
+  const std::vector<Coord> north_order = rt::lossy_move_order(north);
+  const std::vector<Coord> north_expected = {{2, 2}, {4, 1}, {4, 2}, {4, 3}};
+  EXPECT_EQ(north_order, north_expected);
+}
+
+TEST(RearrangementLoop, SuccessAlwaysEqualsTargetFullInTheFinalGrid) {
+  // Invariant behind the single authoritative success computation: the
+  // flag must equal region_full(target) of the reported final grid on
+  // every exit path — one-round success, multi-round recovery, early
+  // "not enough atoms" exits, and round-budget exhaustion.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const OccupancyGrid initial = load_random(20, 20, {0.45 + 0.05 * (seed % 4), seed});
+    rt::LoopConfig config = loop_config(20, 12);
+    config.loss.per_move_loss = seed % 2 == 0 ? 0.3 : 0.02;
+    config.loss.background_loss = 0.01;
+    config.max_rounds = 4;
+    const rt::LoopReport report = rt::run_rearrangement_loop(initial, config);
+    EXPECT_EQ(report.success, report.final_grid.region_full(config.plan.target));
+  }
+}
+
+TEST(RearrangementLoop, CertainTransportLossKillsEveryMovedAtom) {
+  // per_move_loss = 1.0: transport is a death sentence, so the loop can
+  // only shed atoms until the "not enough atoms" exit fires.
+  const OccupancyGrid initial = load_random(20, 20, {0.6, 11});
+  rt::LoopConfig config = loop_config(20, 12);
+  config.loss.per_move_loss = 1.0;
+  config.loss.background_loss = 0.0;
+  const rt::LoopReport report = rt::run_rearrangement_loop(initial, config);
+  EXPECT_FALSE(report.success);
+  EXPECT_LT(report.rounds_used(), static_cast<std::size_t>(config.max_rounds))
+      << "the atom budget must exhaust before the round budget";
+  EXPECT_GT(report.total_atoms_lost, 0);
+  EXPECT_EQ(report.final_grid.atom_count() + report.total_atoms_lost, initial.atom_count());
+  // Every round's losses are exactly the atoms that round had minus the
+  // atoms that survived into the next accounting point.
+  for (const rt::RoundReport& round : report.rounds) EXPECT_GE(round.atoms_lost, 0);
+}
+
+TEST(RearrangementLoop, CertainBackgroundLossEmptiesTheArrayInOneRound) {
+  // background_loss = 1.0: every trapped atom dies between rounds, so
+  // round 1 ends with an empty array and the loop exits on the atom
+  // budget with everything accounted as lost.
+  const OccupancyGrid initial = load_random(20, 20, {0.6, 17});
+  rt::LoopConfig config = loop_config(20, 12);
+  config.loss.per_move_loss = 0.0;
+  config.loss.background_loss = 1.0;
+  const rt::LoopReport report = rt::run_rearrangement_loop(initial, config);
+  EXPECT_FALSE(report.success);
+  EXPECT_EQ(report.rounds_used(), 1u);
+  EXPECT_EQ(report.final_grid.atom_count(), 0);
+  EXPECT_EQ(report.total_atoms_lost, initial.atom_count());
+}
+
+TEST(RearrangementLoop, PrefilledTargetSucceedsBeforeBackgroundLossCanFire) {
+  // A grid whose target is already defect-free succeeds in zero rounds:
+  // the loop checks defects before planning, and background loss only
+  // applies after an executed round — so even certain background loss
+  // never fires.
+  OccupancyGrid initial(20, 20);
+  const Region target = centered_square(20, 12);
+  for (std::int32_t r = 0; r < target.rows; ++r)
+    for (std::int32_t c = 0; c < target.cols; ++c)
+      initial.set({target.row0 + r, target.col0 + c});
+  rt::LoopConfig config = loop_config(20, 12);
+  config.loss.background_loss = 1.0;
+  const rt::LoopReport report = rt::run_rearrangement_loop(initial, config);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.rounds_used(), 0u);
+  EXPECT_EQ(report.total_atoms_lost, 0);
+  EXPECT_EQ(report.final_grid, initial);
+}
+
+TEST(RearrangementLoop, NotEnoughAtomsExitsEarlyWithDefectsRemaining) {
+  // Start with fewer atoms than the target needs: round 1 plans, loses
+  // nothing necessarily, but the budget check atoms < target area stops
+  // the loop immediately instead of burning the full round budget.
+  const OccupancyGrid initial = load_random(20, 20, {0.25, 19});
+  rt::LoopConfig config = loop_config(20, 12);
+  ASSERT_LT(initial.atom_count(), static_cast<std::int64_t>(config.plan.target.area()));
+  config.max_rounds = 10;
+  const rt::LoopReport report = rt::run_rearrangement_loop(initial, config);
+  EXPECT_FALSE(report.success);
+  EXPECT_EQ(report.rounds_used(), 1u);
+  EXPECT_FALSE(report.final_grid.region_full(config.plan.target));
 }
 
 TEST(RearrangementLoop, RejectsBadConfig) {

@@ -142,6 +142,100 @@ TEST(PlanCache, FifoEvictionCapsEntries) {
   EXPECT_EQ(pinned->final_grid, QrmPlanner(config).plan(pinned_grid).final_grid);
 }
 
+TEST(PlanCache, CollidingKeysStillResolveHitsByGridContent) {
+  // key_bits = 1 leaves two possible cell keys, so distinct grids are
+  // forced into shared buckets. Hits must still return exactly the plan
+  // for the looked-up grid — collisions can narrow a bucket, never
+  // substitute a wrong plan.
+  batch::PlanCacheConfig cache_config;
+  cache_config.key_bits = 1;
+  batch::PlanCache cache(cache_config);
+  const QrmConfig config = tiny_config();
+  const QrmPlanner planner(config);
+  const std::uint64_t key = batch::PlanCache::config_key("qrm", config);
+
+  for (std::uint64_t seed = 1; seed <= 6; ++seed)
+    cache.insert(key, tiny_grid(seed), planner.plan(tiny_grid(seed)));
+  EXPECT_EQ(cache.stats().entries, 6u);
+
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const OccupancyGrid grid = tiny_grid(seed);
+    const std::shared_ptr<const PlanResult> hit = cache.find(key, grid);
+    ASSERT_NE(hit, nullptr) << "seed " << seed;
+    EXPECT_EQ(*hit, planner.plan(grid)) << "collision served the wrong plan for seed " << seed;
+  }
+  EXPECT_EQ(cache.find(key, tiny_grid(7)), nullptr)
+      << "an uninserted grid must miss even when its masked key collides";
+}
+
+TEST(PlanCache, FifoEvictionStaysExactUnderForcedCollisions) {
+  // Regression for the eviction/accounting audit: with every insertion
+  // crammed into at most two buckets, eviction must still remove exactly
+  // the globally oldest insertion (bucket-front of the front key — the
+  // deque and the bucket chains append in the same order), and entries_
+  // must track the real entry count, not the bucket count.
+  batch::PlanCacheConfig cache_config;
+  cache_config.key_bits = 1;
+  cache_config.max_entries = 3;
+  batch::PlanCache cache(cache_config);
+  const QrmConfig config = tiny_config();
+  const QrmPlanner planner(config);
+  const std::uint64_t key = batch::PlanCache::config_key("qrm", config);
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed)
+    cache.insert(key, tiny_grid(seed), planner.plan(tiny_grid(seed)));
+
+  const batch::PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.evictions, 5u);
+  // Exactly the three newest insertions survive, in spite of the chains.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed)
+    EXPECT_EQ(cache.find(key, tiny_grid(seed)), nullptr) << "seed " << seed << " should be evicted";
+  for (std::uint64_t seed = 6; seed <= 8; ++seed)
+    EXPECT_NE(cache.find(key, tiny_grid(seed)), nullptr) << "seed " << seed << " should survive";
+
+  // Re-inserting an evicted grid works and evicts the now-oldest (seed 6).
+  cache.insert(key, tiny_grid(1), planner.plan(tiny_grid(1)));
+  EXPECT_NE(cache.find(key, tiny_grid(1)), nullptr);
+  EXPECT_EQ(cache.find(key, tiny_grid(6)), nullptr);
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().evictions, 6u);
+}
+
+TEST(PlanCache, DuplicateInsertUnderCollisionsDoesNotDesyncAccounting) {
+  // First-insert-wins must hold inside a chained bucket too: a duplicate
+  // insert neither grows entries_ nor queues a second eviction ticket for
+  // the same entry (which would make a later eviction pop a live one).
+  batch::PlanCacheConfig cache_config;
+  cache_config.key_bits = 1;
+  cache_config.max_entries = 2;
+  batch::PlanCache cache(cache_config);
+  const QrmConfig config = tiny_config();
+  const QrmPlanner planner(config);
+  const std::uint64_t key = batch::PlanCache::config_key("qrm", config);
+
+  const OccupancyGrid grid = tiny_grid(1);
+  const std::shared_ptr<const PlanResult> first = cache.insert(key, grid, planner.plan(grid));
+  EXPECT_EQ(cache.insert(key, grid, planner.plan(grid)), first);
+  EXPECT_EQ(cache.stats().entries, 1u);
+
+  // Fill to capacity and push one more: the duplicate never double-counted,
+  // so exactly one eviction fires and it takes the oldest real entry.
+  cache.insert(key, tiny_grid(2), planner.plan(tiny_grid(2)));
+  cache.insert(key, tiny_grid(3), planner.plan(tiny_grid(3)));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.find(key, grid), nullptr);
+  EXPECT_NE(cache.find(key, tiny_grid(2)), nullptr);
+  EXPECT_NE(cache.find(key, tiny_grid(3)), nullptr);
+}
+
+TEST(PlanCache, RejectsFullWidthKeyMask) {
+  batch::PlanCacheConfig cache_config;
+  cache_config.key_bits = 64;  // the mask shift would be UB; must be rejected
+  EXPECT_THROW((void)batch::PlanCache(cache_config), PreconditionError);
+}
+
 TEST(PlanCache, ClearResetsEverything) {
   const QrmConfig config = tiny_config();
   const std::uint64_t key = batch::PlanCache::config_key("qrm", config);
