@@ -11,7 +11,7 @@
 #include <thread>
 
 #include "batch/batch_planner.hpp"
-#include "batch/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 #include "bench_common.hpp"
 
 namespace {
@@ -26,7 +26,7 @@ batch::BatchConfig batch_config(std::int32_t size, std::uint32_t shots, std::uin
   config.grid_width = size;
   config.fill = kFill;
   config.shots = shots;
-  config.workers = workers;
+  config.exec.workers = workers;
   config.master_seed = 0xBA7C4;
   config.loss.per_move_loss = 0.005;
   config.max_rounds = 4;
@@ -35,7 +35,7 @@ batch::BatchConfig batch_config(std::int32_t size, std::uint32_t shots, std::uin
 
 std::vector<std::uint32_t> worker_sweep() {
   std::vector<std::uint32_t> sweep = {1, 2, 4};
-  const std::uint32_t hw = batch::ThreadPool::resolve_workers(0);
+  const std::uint32_t hw = ThreadPool::resolve_workers(0);
   if (hw > 4) sweep.push_back(hw);
   return sweep;
 }

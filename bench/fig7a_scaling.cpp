@@ -6,6 +6,11 @@
 // number is measured on this machine. Absolute values differ from the
 // authors' testbed; the shape (FPGA in low microseconds, growing far slower
 // than the CPU, speedup increasing with W) is the reproduction target.
+//
+// The size sweep is a declarative scenario sweep (expand_sweeps), not a
+// hand-rolled loop: the specs' auto target rule and Uniform loader are the
+// exact workload construction this bench used to hard-code, so the modelled
+// FPGA latencies are bit-identical to the pre-spec version.
 
 #include <algorithm>
 
@@ -13,28 +18,60 @@
 #include "core/cpu_reference.hpp"
 #include "core/planner.hpp"
 #include "hwmodel/accelerator.hpp"
+#include "scenario/spec.hpp"
 
 namespace {
 
 using namespace qrm;
 using namespace qrm::bench;
 
+/// The paper's Fig. 7(a) size axis as a scenario sweep. The defaults carry
+/// the rest: Uniform fill 0.55 (bench kFill) and `target=auto` (the even
+/// ~0.6*W centred square paper_target encodes).
+const std::vector<scenario::ScenarioSpec>& fig7a_sweep() {
+  static const std::vector<scenario::ScenarioSpec> sweep = scenario::expand_sweeps(
+      "name=fig7a\n"
+      "description=Fig. 7(a) QRM execution time, CPU vs FPGA\n"
+      "grid=10..90 step 20\n");
+  return sweep;
+}
+
+const scenario::ScenarioSpec& spec_for(std::int32_t size) {
+  for (const scenario::ScenarioSpec& spec : fig7a_sweep())
+    if (spec.grid_width == size) return spec;
+  std::abort();  // benchmark Arg not in the sweep — a bench bug
+}
+
 /// The paper's CPU baseline is the accelerator's own C++ analysis executed
 /// in software (no physical-command materialisation); run_cpu_reference is
 /// exactly that.
-CpuReferenceResult cpu_plan(const OccupancyGrid& grid, std::int32_t target_size) {
+CpuReferenceResult cpu_plan(const OccupancyGrid& grid, const Region& target) {
   QrmConfig config;
-  config.target = centered_square(grid.height(), target_size);
+  config.target = target;
   return run_cpu_reference(grid, config);
 }
 
-double fpga_latency_us(std::int32_t size) {
+/// Median over per-seed workloads drawn from the spec, best-of-`repeats`
+/// each (the spec-driven analogue of bench_common's measure_cpu_us).
+template <typename Fn>
+double measure_spec_cpu_us(const scenario::ScenarioSpec& spec, int seeds, std::size_t repeats,
+                           Fn&& fn) {
+  std::vector<double> times;
+  for (int s = 1; s <= seeds; ++s) {
+    const OccupancyGrid grid = generate_workload(spec, static_cast<std::uint64_t>(s));
+    times.push_back(best_of_microseconds(repeats, [&] { fn(grid); }));
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+double fpga_latency_us(const scenario::ScenarioSpec& spec) {
   // Seed-median over the same workloads the CPU sees.
   std::vector<double> times;
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    const OccupancyGrid grid = workload(size, seed);
+    const OccupancyGrid grid = generate_workload(spec, seed);
     hw::AcceleratorConfig config;
-    config.plan.target = centered_square(size, paper_target(size));
+    config.plan.target = spec.target_region();
     times.push_back(hw::QrmAccelerator(config).run(grid).latency_us);
   }
   std::sort(times.begin(), times.end());
@@ -45,36 +82,43 @@ void print_table() {
   print_header("Fig. 7(a) — QRM execution time: CPU vs FPGA",
                "paper: FPGA 0.8/1.0/1.9 us at W=10/50/90; ~54x at W=50, ~134x at W=90");
   TextTable table({"W", "CPU QRM", "FPGA QRM (model)", "speedup", "paper FPGA"});
-  const std::vector<std::pair<int, const char*>> paper{
-      {10, "0.8 us"}, {30, "-"}, {50, "1.0 us"}, {70, "-"}, {90, "1.9 us"}};
-  for (const auto& [size, paper_value] : paper) {
-    const double cpu_us = measure_cpu_us(size, 5, 10, [&](const OccupancyGrid& grid) {
-      benchmark::DoNotOptimize(cpu_plan(grid, paper_target(size)));
+  const auto paper_value = [](std::int32_t size) {
+    switch (size) {
+      case 10: return "0.8 us";
+      case 50: return "1.0 us";
+      case 90: return "1.9 us";
+      default: return "-";
+    }
+  };
+  for (const scenario::ScenarioSpec& spec : fig7a_sweep()) {
+    const Region target = spec.target_region();
+    const double cpu_us = measure_spec_cpu_us(spec, 5, 10, [&](const OccupancyGrid& grid) {
+      benchmark::DoNotOptimize(cpu_plan(grid, target));
     });
-    const double fpga_us = fpga_latency_us(size);
-    table.add_row({std::to_string(size), fmt_time_us(cpu_us), fmt_time_us(fpga_us),
-                   fmt_speedup(cpu_us / fpga_us), paper_value});
+    const double fpga_us = fpga_latency_us(spec);
+    table.add_row({std::to_string(spec.grid_width), fmt_time_us(cpu_us), fmt_time_us(fpga_us),
+                   fmt_speedup(cpu_us / fpga_us), paper_value(spec.grid_width)});
   }
   std::printf("%s\n", table.render().c_str());
 }
 
 void BM_CpuQrm(benchmark::State& state) {
-  const auto size = static_cast<std::int32_t>(state.range(0));
-  const OccupancyGrid grid = workload(size, 1);
-  const std::int32_t target = paper_target(size);
+  const scenario::ScenarioSpec& spec = spec_for(static_cast<std::int32_t>(state.range(0)));
+  const OccupancyGrid grid = generate_workload(spec, 1);
+  const Region target = spec.target_region();
   for (auto _ : state) {
     benchmark::DoNotOptimize(cpu_plan(grid, target));
   }
-  state.counters["W"] = size;
+  state.counters["W"] = static_cast<double>(spec.grid_width);
 }
 BENCHMARK(BM_CpuQrm)->Arg(10)->Arg(30)->Arg(50)->Arg(70)->Arg(90)->Unit(benchmark::kMicrosecond);
 
 void BM_CpuQrmFullPlanner(benchmark::State& state) {
   // The full library planner (also materialises the executable, AOD-legal
   // schedule) — the price of a physically checked command stream.
-  const auto size = static_cast<std::int32_t>(state.range(0));
-  const OccupancyGrid grid = workload(size, 1);
-  const std::int32_t target = paper_target(size);
+  const scenario::ScenarioSpec& spec = spec_for(static_cast<std::int32_t>(state.range(0)));
+  const OccupancyGrid grid = generate_workload(spec, 1);
+  const std::int32_t target = spec.target_region().rows;
   for (auto _ : state) {
     benchmark::DoNotOptimize(plan_qrm(grid, target));
   }
@@ -84,10 +128,10 @@ BENCHMARK(BM_CpuQrmFullPlanner)->Arg(10)->Arg(50)->Arg(90)->Unit(benchmark::kMic
 void BM_FpgaModelQrm(benchmark::State& state) {
   // Times the *simulation* of the accelerator (host-side cost of the cycle
   // model); the modelled hardware latency is exported as a counter.
-  const auto size = static_cast<std::int32_t>(state.range(0));
-  const OccupancyGrid grid = workload(size, 1);
+  const scenario::ScenarioSpec& spec = spec_for(static_cast<std::int32_t>(state.range(0)));
+  const OccupancyGrid grid = generate_workload(spec, 1);
   hw::AcceleratorConfig config;
-  config.plan.target = centered_square(size, paper_target(size));
+  config.plan.target = spec.target_region();
   const hw::QrmAccelerator accel(config);
   double modelled_us = 0.0;
   for (auto _ : state) {

@@ -172,9 +172,10 @@ std::vector<PlanPoint> bench_plan(bool smoke, bool exhaustive) {
       point.workers = workers;
       QrmConfig config;
       config.target = centered_square(size, point.target);
-      config.intra_plan_workers = workers;
-      if (workers > 0) config.intra_plan_pool = std::make_shared<ThreadPool>(workers);
-      const QrmPlanner planner(config);
+      PlanParallelism parallelism;
+      parallelism.workers = workers;
+      if (workers > 0) parallelism.pool = std::make_shared<ThreadPool>(workers);
+      const QrmPlanner planner(config, std::move(parallelism));
       std::vector<double> times;
       for (int s = 1; s <= seeds; ++s) {
         const OccupancyGrid grid = qrm::bench::workload(size, static_cast<std::uint64_t>(s));

@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "batch/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 #include "bench_common.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/registry.hpp"
@@ -27,7 +27,7 @@ using namespace qrm::bench;
 
 std::vector<std::uint32_t> worker_sweep() {
   std::vector<std::uint32_t> sweep = {1, 2};
-  const std::uint32_t hw = batch::ThreadPool::resolve_workers(0);
+  const std::uint32_t hw = ThreadPool::resolve_workers(0);
   if (hw > 2) sweep.push_back(hw);
   return sweep;
 }
@@ -52,7 +52,7 @@ std::vector<AxisPoint> bench_shard_axis() {
   for (const std::uint32_t shards : {1u, 3u}) {
     for (const std::uint32_t workers : worker_sweep()) {
       scenario::CampaignConfig config;
-      config.workers = workers;
+      config.exec.workers = workers;
       config.shards = shards;
       config.filter = "smoke";
       const scenario::CampaignReport report =
@@ -113,12 +113,12 @@ CacheAb bench_plan_cache() {
   }
 
   scenario::CampaignConfig config;
-  config.workers = batch::ThreadPool::resolve_workers(0);
+  config.exec.workers = ThreadPool::resolve_workers(0);
   CacheAb ab;
-  config.plan_cache = false;
+  config.overrides.plan_cache = false;
   const scenario::CampaignReport off = scenario::CampaignRunner(config).run(specs);
   ab.off_wall_us = off.wall_us;
-  config.plan_cache = true;
+  config.overrides.plan_cache = true;
   const scenario::CampaignReport on = scenario::CampaignRunner(config).run(specs);
   ab.on_wall_us = on.wall_us;
   ab.hits = on.plan_cache.hits;
@@ -184,7 +184,7 @@ BENCHMARK(BM_ExpandGridSweep);
 
 void BM_SmokeScenarioEndToEnd(benchmark::State& state) {
   scenario::CampaignConfig config;
-  config.workers = static_cast<std::uint32_t>(state.range(0));
+  config.exec.workers = static_cast<std::uint32_t>(state.range(0));
   const scenario::CampaignRunner runner(config);
   const scenario::ScenarioSpec& spec = scenario::find_scenario("smoke-uniform");
   for (auto _ : state) {

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "batch/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 #include "scenario/campaign.hpp"
 #include "util/csv.hpp"
 
@@ -32,7 +32,7 @@ int main() {
       "max_rounds=6\n";
   const std::vector<scenario::ScenarioSpec> sweep = scenario::expand_sweeps(kSweep);
 
-  const std::uint32_t hw_workers = batch::ThreadPool::resolve_workers(0);
+  const std::uint32_t hw_workers = ThreadPool::resolve_workers(0);
   std::vector<std::uint32_t> worker_sweep = {1u};
   if (hw_workers > 1) worker_sweep.push_back(hw_workers);
 
@@ -44,7 +44,7 @@ int main() {
   for (const scenario::ScenarioSpec& spec : sweep) {
     for (const std::uint32_t workers : worker_sweep) {
       scenario::CampaignConfig config;
-      config.workers = workers;
+      config.exec.workers = workers;
       const scenario::ScenarioOutcome outcome =
           scenario::CampaignRunner(config).run_one(spec);
       const batch::BatchReport& report = outcome.batch;

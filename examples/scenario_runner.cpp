@@ -104,11 +104,13 @@ int run_campaign(const std::vector<std::string>& args) {
     if (arg == "--filter" && has_value) {
       config.filter = args[++i];
     } else if (arg == "--workers" && has_value) {
-      if (!parse_u32(args[++i], 4096, config.workers)) {
+      std::uint32_t workers = 0;
+      if (!parse_u32(args[++i], 4096, workers)) {
         std::cerr << "scenario_runner: --workers needs an integer in [0, 4096], got '"
                   << args[i] << "'\n";
         return usage();
       }
+      config.cli.workers = workers;
     } else if (arg == "--intra-plan-workers" && has_value) {
       std::uint32_t workers = 0;
       if (!parse_u32(args[++i], 4096, workers)) {
@@ -116,18 +118,18 @@ int run_campaign(const std::vector<std::string>& args) {
                      " got '" << args[i] << "'\n";
         return usage();
       }
-      // Campaign-level override of every spec's knob; plans (and therefore
+      // CLI-layer override of every spec's knob; plans (and therefore
       // every fingerprint in the report) are identical for any value.
-      config.intra_plan_workers = static_cast<std::int32_t>(workers);
+      config.cli.intra_plan_workers = workers;
     } else if (arg == "--replan" && has_value) {
       const std::string& value = args[++i];
       if (value != "scratch" && value != "delta") {
         std::cerr << "scenario_runner: --replan needs scratch|delta, got '" << value << "'\n";
         return usage();
       }
-      // Campaign-level override of every spec's knob; delta plans are
+      // CLI-layer override of every spec's knob; delta plans are
       // bit-identical to scratch, so reports are unchanged except timing.
-      config.replan = value == "delta" ? 1 : 0;
+      config.cli.replan = value == "delta" ? qrm::ReplanMode::Delta : qrm::ReplanMode::Scratch;
     } else if (arg == "--shards" && has_value) {
       if (!parse_u32(args[++i], 4096, config.shards) || config.shards == 0) {
         std::cerr << "scenario_runner: --shards needs an integer in [1, 4096], got '"
@@ -149,7 +151,7 @@ int run_campaign(const std::vector<std::string>& args) {
         std::cerr << "scenario_runner: --plan-cache needs on|off, got '" << value << "'\n";
         return usage();
       }
-      config.plan_cache = value == "on";
+      config.cli.plan_cache = value == "on";
     } else if (arg == "--file" && has_value) {
       file_path = args[++i];
     } else if (arg == "--csv" && has_value) {
@@ -208,8 +210,8 @@ int run_campaign(const std::vector<std::string>& args) {
   }
   std::cout << ", " << report.wall_us / 1000.0 << " ms, campaign fingerprint "
             << campaign_fingerprint.str() << "\n";
-  if (config.plan_cache) {
-    const qrm::batch::PlanCacheStats& cache = report.plan_cache;
+  if (scenario::campaign_policy(config).plan_cache != nullptr) {
+    const qrm::exec::PlanCacheStats& cache = report.plan_cache;
     std::cout << "plan cache: " << cache.hits << " hits / " << cache.misses << " misses ("
               << fmt_percent(cache.hit_rate()) << " hit rate)\n";
   }

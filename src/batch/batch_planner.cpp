@@ -7,36 +7,26 @@
 #include <utility>
 
 #include "baselines/algorithm.hpp"
-#include "batch/plan_cache.hpp"
-#include "batch/thread_pool.hpp"
 #include "core/delta_planner.hpp"
 #include "core/planner.hpp"
+#include "exec/plan_cache.hpp"
 #include "loading/loader.hpp"
 #include "runtime/control_system.hpp"
 #include "util/assert.hpp"
 #include "util/fnv.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qrm::batch {
 
 namespace {
 
-/// Stream index of the photon-noise RNG within one shot's seed domain
-/// (stream 0 is the loading draw itself; keep indices distinct).
-constexpr std::uint64_t kImagingStream = 1;
-
-/// Domain tag folded into the loss master seed before the loop splits it
-/// per shot. Without it, master_seed == loss.seed (a natural "one seed for
-/// everything" configuration) would make every shot's loss RNG replay the
-/// exact bit stream that generated its initial grid.
-constexpr std::uint64_t kLossDomain = 0x10550000;
-
 // --- FNV-1a over the deterministic outcome fields -------------------------
 
 void mix(std::uint64_t& hash, std::uint64_t value) noexcept { fnv::mix_u64(hash, value); }
 
-// Grid mixing lives in plan_cache.cpp (batch::mix_grid) so the report
+// Grid mixing lives in exec/plan_cache.cpp (exec::mix_grid) so the report
 // fingerprint and the cache key share one byte order.
 
 void mix_schedule(std::uint64_t& hash, const Schedule& schedule) noexcept {
@@ -113,8 +103,8 @@ std::uint64_t BatchReport::fingerprint() const noexcept {
     mix(hash, std::bit_cast<std::uint64_t>(shot.fill_rate));
     mix(hash, static_cast<std::uint64_t>(shot.detection_errors.false_positives));
     mix(hash, static_cast<std::uint64_t>(shot.detection_errors.false_negatives));
-    mix_grid(hash, shot.planned_input);
-    mix_grid(hash, shot.final_grid);
+    exec::mix_grid(hash, shot.planned_input);
+    exec::mix_grid(hash, shot.final_grid);
     mix(hash, shot.schedules.size());
     for (const Schedule& schedule : shot.schedules) mix_schedule(hash, schedule);
   }
@@ -133,7 +123,7 @@ BatchPlanner::BatchPlanner(BatchConfig config) : config_(std::move(config)) {
 
 rt::LossModel BatchPlanner::effective_loss() const noexcept {
   rt::LossModel loss = config_.loss;
-  loss.seed = derive_seed(config_.loss.seed, kLossDomain);
+  loss.seed = exec::loss_master_seed(config_.loss.seed);
   return loss;
 }
 
@@ -145,7 +135,7 @@ ShotResult BatchPlanner::run_shot_impl(std::uint32_t shot, const OccupancyGrid* 
                                        std::shared_ptr<ThreadPool> intra_pool) const {
   ShotResult result;
   result.shot = shot;
-  result.seed = derive_seed(config_.master_seed, shot);
+  result.seed = exec::shot_seed(config_.master_seed, shot);
 
   OccupancyGrid truth =
       captured != nullptr
@@ -155,7 +145,7 @@ ShotResult BatchPlanner::run_shot_impl(std::uint32_t shot, const OccupancyGrid* 
   // --- Detection stage ----------------------------------------------------
   if (config_.imaged_detection) {
     ImagingConfig imaging = config_.imaging;
-    imaging.seed = derive_seed(result.seed, kImagingStream);
+    imaging.seed = exec::imaging_seed(result.seed);
     Stopwatch watch;
     const FluorescenceImage frame = render_image(truth, imaging);
     result.planned_input =
@@ -169,30 +159,32 @@ ShotResult BatchPlanner::run_shot_impl(std::uint32_t shot, const OccupancyGrid* 
   // --- Plan + simulated lossy execution -----------------------------------
   // The planner runs behind the algorithm interface so baselines batch the
   // same way; "qrm" keeps the full QrmConfig (mode, merge, sen_limit).
-  QrmConfig plan_config = config_.plan;
-  if (plan_config.intra_plan_workers > 0 && intra_pool != nullptr) {
+  exec::ExecPolicy shot_exec = config_.exec;
+  if (shot_exec.intra_plan_workers > 0 && intra_pool != nullptr) {
     // Batched path: quadrant tasks share the shot pool (see run_shot's
     // arbitration note). The pool is not part of the plan's identity, so
     // the cache key and every fingerprint are unchanged by this.
-    plan_config.intra_plan_pool = std::move(intra_pool);
+    shot_exec.pool = std::move(intra_pool);
   }
+  const PlanParallelism parallelism = shot_exec.plan_parallelism();
 
   rt::LoopConfig loop_config;
-  loop_config.plan = plan_config;
+  loop_config.plan = config_.plan;
   loop_config.loss = effective_loss();
   loop_config.max_rounds = config_.max_rounds;
   loop_config.shot_index = shot;
-  loop_config.keep_schedules = config_.keep_schedules;
+  loop_config.exec = shot_exec;
 
   double plan_us = 0.0;
   rt::PlanFn plan_round;
-  if (config_.algorithm == "qrm" && config_.replan == ReplanMode::Delta) {
+  if (config_.algorithm == "qrm" && shot_exec.replan == ReplanMode::Delta) {
     // One stateful replanner per shot loop: rounds reuse the previous
     // round's untouched quadrant kernels, bit-identical to scratch (see
     // core/delta_planner.hpp). With a PlanCache in front, hit rounds skip
     // the replanner entirely; its cached previous input just ages, and a
     // later miss still diffs correctly against it.
-    plan_round = [replanner = std::make_shared<DeltaReplanner>(plan_config),
+    plan_round = [replanner = std::make_shared<DeltaReplanner>(
+                      config_.plan, DeltaReplanner::Options{}, parallelism),
                   &plan_us](const OccupancyGrid& state) {
       Stopwatch watch;
       PlanResult plan = replanner->plan(state);
@@ -200,7 +192,8 @@ ShotResult BatchPlanner::run_shot_impl(std::uint32_t shot, const OccupancyGrid* 
       return plan;
     };
   } else if (config_.algorithm == "qrm") {
-    plan_round = [planner = QrmPlanner(plan_config), &plan_us](const OccupancyGrid& state) {
+    plan_round = [planner = QrmPlanner(config_.plan, parallelism),
+                  &plan_us](const OccupancyGrid& state) {
       Stopwatch watch;
       PlanResult plan = planner.plan(state);
       plan_us += watch.elapsed_microseconds();
@@ -222,9 +215,9 @@ ShotResult BatchPlanner::run_shot_impl(std::uint32_t shot, const OccupancyGrid* 
   // point); on a miss the cold plan is computed, timed, and inserted. Hits
   // are bit-equal to cold plans (PlanCache's contract), so outcome fields
   // and fingerprints are identical with the cache on or off.
-  if (config_.plan_cache) {
-    plan_round = [cache = config_.plan_cache,
-                  key = PlanCache::config_key(config_.algorithm, config_.plan),
+  if (config_.exec.plan_cache) {
+    plan_round = [cache = config_.exec.plan_cache,
+                  key = exec::PlanCache::config_key(config_.algorithm, config_.plan),
                   cold = std::move(plan_round)](const OccupancyGrid& state) {
       if (const std::shared_ptr<const PlanResult> hit = cache->find(key, state)) return *hit;
       return *cache->insert(key, state, cold(state));
@@ -261,7 +254,7 @@ BatchReport BatchPlanner::run_impl(std::uint32_t shot_count,
 
   Stopwatch wall;
   {
-    ThreadPool pool(config_.workers);
+    ThreadPool pool(config_.exec.workers);
     report.workers = pool.worker_count();
 
     // Nested-parallelism arbitration: quadrant tasks draw from the same
@@ -272,8 +265,8 @@ BatchReport BatchPlanner::run_impl(std::uint32_t shot_count,
     // one of its own workers. The block scope already guarantees the pool
     // outlives every shot.
     const std::shared_ptr<ThreadPool> intra_pool =
-        config_.plan.intra_plan_pool != nullptr
-            ? config_.plan.intra_plan_pool
+        config_.exec.pool != nullptr
+            ? config_.exec.pool
             : std::shared_ptr<ThreadPool>(std::shared_ptr<void>(), &pool);
 
     std::vector<std::future<void>> done;

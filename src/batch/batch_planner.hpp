@@ -25,12 +25,11 @@
 #include "core/config.hpp"
 #include "detection/detector.hpp"
 #include "detection/image.hpp"
+#include "exec/policy.hpp"
 #include "lattice/grid.hpp"
 #include "runtime/rearrangement_loop.hpp"
 
 namespace qrm::batch {
-
-class PlanCache;
 
 struct BatchConfig {
   QrmConfig plan;  ///< target + planner settings (honoured fully for "qrm")
@@ -39,7 +38,6 @@ struct BatchConfig {
   /// behind the same interface with plan.target as their goal.
   std::string algorithm = "qrm";
   std::uint32_t shots = 16;        ///< ignored when captured grids are given
-  std::uint32_t workers = 0;       ///< pool size; 0 -> hardware_concurrency
   std::uint64_t master_seed = 0x5EED;  ///< root of every per-shot stream
 
   /// Generated-workload geometry (ignored when captured grids are given).
@@ -56,20 +54,17 @@ struct BatchConfig {
 
   rt::LossModel loss;              ///< master loss model; shots derive streams
   std::uint32_t max_rounds = 10;   ///< lossy-loop round budget per shot
-  bool keep_schedules = false;     ///< retain per-round schedules per shot
 
-  /// Replan strategy of each shot's lossy loop. Delta (honoured only by the
-  /// "qrm" algorithm; baselines always plan as given) reuses untouched
-  /// quadrant kernels round over round via core::DeltaReplanner — plans stay
-  /// bit-identical to Scratch, so outcomes, fingerprints, and PlanCache keys
-  /// are unchanged; only the planning time drops.
-  ReplanMode replan = ReplanMode::Scratch;
-
-  /// Optional shared plan memoisation (see plan_cache.hpp). Null = off.
-  /// Sharing one cache across batches/scenarios is what lets repeated
-  /// sweep cells and Pattern shots skip plan_qrm; hits are bit-equal to
-  /// cold plans, so every outcome field and fingerprint is unchanged.
-  std::shared_ptr<PlanCache> plan_cache;
+  /// Execution policy (exec/policy.hpp). The batch honours every field:
+  /// workers sizes the shot pool (0 -> hardware_concurrency), pool shares a
+  /// caller-owned pool instead (the campaign runner's mode), the intra-plan
+  /// fields fan quadrant work out within each shot, replan selects each
+  /// shot loop's strategy (Delta is honoured only by the "qrm" algorithm;
+  /// baselines always plan as given), plan_cache attaches shared plan
+  /// memoisation (null = off; hits are bit-equal to cold plans), and
+  /// keep_schedules retains per-round schedules per shot. Pure mechanism:
+  /// outcome fields and fingerprint() never depend on it.
+  exec::ExecPolicy exec;
 };
 
 /// Outcome of one shot. All fields except the `*_us` timings are
@@ -150,7 +145,7 @@ class BatchPlanner {
   /// The exact work one shot performs; exposed so tests can compare the
   /// serial answer against the pooled one. `captured` may be null.
   ///
-  /// Worker arbitration: when plan.intra_plan_workers > 0, the batched
+  /// Worker arbitration: when exec.intra_plan_workers > 0, the batched
   /// paths (run / run_impl) hand every shot the *same* pool its own task
   /// runs on, so shot-level and quadrant-level parallelism share one worker
   /// budget — ThreadPool::run_all lets a pooled shot join its own quadrant

@@ -68,19 +68,26 @@ struct QrmConfig {
   /// never shift ("prevent unnecessary shifts far from the center").
   /// Negative disables gating.
   std::int32_t sen_limit = -1;
-  /// Intra-plan parallelism: fan each pass's four quadrant-local kernels
-  /// (and the per-quadrant lowering in apply()) out across this many pool
-  /// workers. 0 = strictly sequential (the default). Any value produces
-  /// bit-identical plans — the quadrants are data-independent and their
-  /// results are merged in a fixed order — so this knob never enters plan
-  /// fingerprints or PlanCache keys.
-  std::uint32_t intra_plan_workers = 0;
-  /// Pool the quadrant tasks run on when intra_plan_workers > 0. Layers
-  /// that already own a pool (BatchPlanner, CampaignRunner) share it here so
-  /// shot-level and quadrant-level work draw from one budget; when left
-  /// null, QrmPlanner::plan spins up a transient pool per call. Not part of
-  /// the config's identity (caches and fingerprints ignore it).
-  std::shared_ptr<ThreadPool> intra_plan_pool;
+};
+
+/// How one plan's quadrant work fans out — mechanism, not identity. Every
+/// QrmConfig field above is a planner axis that can change a plan's output;
+/// these two cannot (the quadrants are data-independent and their results
+/// merge in a fixed order, so any worker count produces bit-identical
+/// plans). Keeping them out of QrmConfig is what lets PlanCache keys and
+/// spec serialization ignore execution policy by construction. The policy
+/// layer (exec::ExecPolicy::plan_parallelism()) is the usual source of a
+/// value; planners accept one alongside their config.
+struct PlanParallelism {
+  /// Fan each pass's four quadrant kernels (and the per-quadrant lowering
+  /// in PassDriver::apply()) across this many workers. 0 = strictly
+  /// sequential (the default).
+  std::uint32_t workers = 0;
+  /// Pool the quadrant tasks run on when workers > 0. Layers that already
+  /// own a pool (BatchPlanner, CampaignRunner) share it here so shot-level
+  /// and quadrant-level work draw from one budget; when left null,
+  /// QrmPlanner::plan spins up a transient pool per call.
+  std::shared_ptr<ThreadPool> pool;
 };
 
 /// What one line-scan pass over the quadrants did (used by the cycle model
@@ -129,7 +136,7 @@ struct PlanResult {
   PlanStats stats;
 
   /// Bit-level equality over every field — what "a cache hit is
-  /// indistinguishable from a cold plan" means (batch::PlanCache).
+  /// indistinguishable from a cold plan" means (exec::PlanCache).
   friend bool operator==(const PlanResult&, const PlanResult&) = default;
 };
 

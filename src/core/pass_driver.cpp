@@ -53,8 +53,12 @@ QuadrantGeometry checked_geometry(const OccupancyGrid& grid) {
 
 }  // namespace
 
-PassDriver::PassDriver(const OccupancyGrid& initial, QrmConfig config)
-    : config_(std::move(config)), geometry_(checked_geometry(initial)), state_(initial) {
+PassDriver::PassDriver(const OccupancyGrid& initial, QrmConfig config,
+                       PlanParallelism parallelism)
+    : config_(std::move(config)),
+      parallelism_(std::move(parallelism)),
+      geometry_(checked_geometry(initial)),
+      state_(initial) {
   const Region target = config_.target;
   QRM_EXPECTS_MSG(target.rows > 0 && target.cols > 0 && target.rows % 2 == 0 &&
                       target.cols % 2 == 0,
@@ -263,7 +267,7 @@ void PassDriver::apply(QuadrantPass pass) {
 }
 
 ThreadPool* PassDriver::intra_plan_pool() const noexcept {
-  return config_.intra_plan_workers > 0 ? config_.intra_plan_pool.get() : nullptr;
+  return parallelism_.workers > 0 ? parallelism_.pool.get() : nullptr;
 }
 
 PlanResult PassDriver::take_result() {

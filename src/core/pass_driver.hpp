@@ -52,7 +52,9 @@ struct PassReuseStats {
 class PassDriver {
  public:
   /// Preconditions: same as QrmPlanner::plan (even dims, centred target).
-  PassDriver(const OccupancyGrid& initial, QrmConfig config);
+  /// `parallelism` fans the quadrant kernels out (mechanism only — results
+  /// are bit-identical for any value); the default runs sequentially.
+  PassDriver(const OccupancyGrid& initial, QrmConfig config, PlanParallelism parallelism = {});
 
   /// Compute the next pass from the current state, or nullopt when done.
   [[nodiscard]] std::optional<QuadrantPass> next();
@@ -106,10 +108,11 @@ class PassDriver {
   enum class Phase { BalanceRow, BalanceCol, CompactRow, CompactCol, Done };
 
   /// Pool the quadrant tasks fan out on, or nullptr for the sequential path
-  /// (intra_plan_workers == 0, or no pool was provided or created).
+  /// (parallelism workers == 0, or no pool was provided or created).
   [[nodiscard]] ThreadPool* intra_plan_pool() const noexcept;
 
   QrmConfig config_;
+  PlanParallelism parallelism_;
   QuadrantGeometry geometry_;
   OccupancyGrid state_;
   Schedule schedule_;

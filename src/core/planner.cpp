@@ -9,14 +9,14 @@
 namespace qrm {
 
 PlanResult QrmPlanner::plan(const OccupancyGrid& initial) const {
-  QrmConfig config = config_;
-  if (config.intra_plan_workers > 0 && config.intra_plan_pool == nullptr) {
+  PlanParallelism parallelism = parallelism_;
+  if (parallelism.workers > 0 && parallelism.pool == nullptr) {
     // No layer above us owns a pool (standalone plan call): spin up a
     // transient one. Batch and campaign layers share their shot pool here
     // instead, so nested parallelism never oversubscribes.
-    config.intra_plan_pool = std::make_shared<ThreadPool>(config.intra_plan_workers);
+    parallelism.pool = std::make_shared<ThreadPool>(parallelism.workers);
   }
-  PassDriver driver(initial, std::move(config));
+  PassDriver driver(initial, config_, std::move(parallelism));
   while (auto pass = driver.next()) driver.apply(std::move(*pass));
   return driver.take_result();
 }

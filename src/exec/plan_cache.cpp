@@ -1,11 +1,11 @@
-#include "batch/plan_cache.hpp"
+#include "exec/plan_cache.hpp"
 
 #include <utility>
 
 #include "util/assert.hpp"
 #include "util/fnv.hpp"
 
-namespace qrm::batch {
+namespace qrm::exec {
 
 PlanCacheStats& PlanCacheStats::operator+=(const PlanCacheStats& other) noexcept {
   hits += other.hits;
@@ -121,4 +121,4 @@ void PlanCache::clear() {
   stats_ = {};
 }
 
-}  // namespace qrm::batch
+}  // namespace qrm::exec

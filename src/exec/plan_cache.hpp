@@ -34,7 +34,7 @@
 #include "core/config.hpp"
 #include "lattice/grid.hpp"
 
-namespace qrm::batch {
+namespace qrm::exec {
 
 struct PlanCacheConfig {
   /// Entry cap; the oldest insertion is evicted when full (FIFO — plans
@@ -117,4 +117,4 @@ class PlanCache {
   mutable PlanCacheStats stats_;
 };
 
-}  // namespace qrm::batch
+}  // namespace qrm::exec

@@ -75,16 +75,17 @@ std::vector<Coord> lossy_move_order(const ParallelMove& move) {
 }
 
 LoopReport run_rearrangement_loop(const OccupancyGrid& initial, const LoopConfig& config) {
-  if (config.replan == ReplanMode::Delta) {
+  if (config.exec.replan == ReplanMode::Delta) {
     // One stateful replanner for the whole loop: round k+1 reuses round k's
     // untouched quadrant kernels, bit-identical to scratch by construction.
-    auto replanner = std::make_shared<DeltaReplanner>(config.plan);
+    auto replanner = std::make_shared<DeltaReplanner>(config.plan, DeltaReplanner::Options{},
+                                                      config.exec.plan_parallelism());
     LoopReport report = run_rearrangement_loop(
         initial, config, [replanner](const OccupancyGrid& state) { return replanner->plan(state); });
     report.replan = replanner->stats();
     return report;
   }
-  const QrmPlanner planner(config.plan);
+  const QrmPlanner planner(config.plan, config.exec.plan_parallelism());
   return run_rearrangement_loop(initial, config,
                                 [&](const OccupancyGrid& state) { return planner.plan(state); });
 }
@@ -116,7 +117,7 @@ LoopReport run_rearrangement_loop(const OccupancyGrid& initial, const LoopConfig
     for (const ParallelMove& move : plan.schedule.moves()) {
       rr.atoms_lost += apply_lossy_move(state, move, rng, config.loss.per_move_loss);
     }
-    if (config.keep_schedules) report.schedules.push_back(plan.schedule);
+    if (config.exec.keep_schedules) report.schedules.push_back(plan.schedule);
     rr.atoms_lost += apply_background_loss(state, rng, config.loss.background_loss);
     rr.filled_after = state.region_full(config.plan.target);
     report.total_atoms_lost += rr.atoms_lost;

@@ -17,6 +17,7 @@
 
 #include "core/config.hpp"
 #include "core/delta_planner.hpp"
+#include "exec/policy.hpp"
 #include "lattice/grid.hpp"
 #include "moves/schedule.hpp"
 #include "util/rng.hpp"
@@ -47,15 +48,14 @@ struct LoopConfig {
   /// Which derived loss stream this run draws (see LossModel::derive).
   /// Batch shots pass their shot number; standalone runs keep 0.
   std::uint32_t shot_index = 0;
-  /// Retain every round's schedule in LoopReport::schedules (off by default:
-  /// schedules are large and only replay-style tests need them).
-  bool keep_schedules = false;
-  /// Scratch replans every round from nothing; Delta reuses the previous
-  /// round's quadrant kernels where loss left quadrants untouched
-  /// (core/delta_planner.hpp), producing bit-identical plans either way.
-  /// Only the QrmPlanner overload honours Delta; the PlanFn overload's
-  /// planner is opaque and always runs as given.
-  ReplanMode replan = ReplanMode::Scratch;
+  /// Execution policy. The loop honours keep_schedules, replan (Scratch
+  /// replans every round from nothing; Delta reuses untouched quadrant
+  /// kernels via core/delta_planner.hpp — bit-identical plans either way,
+  /// and only the QrmPlanner overload honours it: the PlanFn overload's
+  /// planner is opaque and always runs as given), and the intra-plan
+  /// parallelism fields. workers and plan_cache belong to the layers above
+  /// (batch, campaign) and are ignored here.
+  exec::ExecPolicy exec;
 };
 
 struct RoundReport {

@@ -11,13 +11,12 @@
 #include <sstream>
 #include <utility>
 
-#include "batch/thread_pool.hpp"
 #include "util/assert.hpp"
 #include "util/csv.hpp"
 #include "util/fnv.hpp"
-#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qrm::scenario {
 
@@ -60,20 +59,20 @@ std::string json_escape(const std::string& text) {
 /// grids are bit-identical to the serial loop in every order (pinned by the
 /// shard/report byte-equality battery).
 std::vector<OccupancyGrid> capture_workloads(const ScenarioSpec& spec,
-                                             batch::ThreadPool* pool = nullptr) {
+                                             ThreadPool* pool = nullptr) {
   std::vector<OccupancyGrid> captured(spec.shots);
   if (pool != nullptr && spec.shots > 1) {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(spec.shots);
     for (std::uint32_t shot = 0; shot < spec.shots; ++shot) {
       tasks.emplace_back([&spec, &captured, shot] {
-        captured[shot] = generate_workload(spec, derive_seed(spec.seed, shot));
+        captured[shot] = generate_workload(spec, exec::shot_seed(spec.seed, shot));
       });
     }
     pool->run_all(std::move(tasks));
   } else {
     for (std::uint32_t shot = 0; shot < spec.shots; ++shot)
-      captured[shot] = generate_workload(spec, derive_seed(spec.seed, shot));
+      captured[shot] = generate_workload(spec, exec::shot_seed(spec.seed, shot));
   }
   return captured;
 }
@@ -153,14 +152,26 @@ std::uint32_t shard_of(const std::string& name, std::uint32_t shards) {
   return static_cast<std::uint32_t>(fnv::hash_text(name) % shards);
 }
 
-batch::BatchConfig to_batch_config(const ScenarioSpec& spec, std::uint32_t workers,
-                                   bool keep_schedules) {
+exec::ExecPolicy campaign_policy(const CampaignConfig& config) {
+  return exec::resolve(config.exec, {config.overrides, config.cli});
+}
+
+exec::ExecPolicy resolve_exec(const CampaignConfig& config, const ScenarioSpec& spec) {
+  // The spec layer carries the spec's own execution keys; its defaults
+  // (0 / Scratch) equal the policy defaults, so an untouched spec is a
+  // no-op layer, exactly like an unset override.
+  exec::ExecOverrides spec_layer;
+  spec_layer.intra_plan_workers = spec.intra_plan_workers;
+  spec_layer.replan = spec.replan;
+  return exec::resolve(config.exec, {spec_layer, config.overrides, config.cli});
+}
+
+batch::BatchConfig to_batch_config(const ScenarioSpec& spec, exec::ExecPolicy policy) {
   batch::BatchConfig config;
   config.plan.target = spec.target_region();
   config.plan.mode = spec.mode;
   config.algorithm = spec.algorithm;
   config.shots = spec.shots;
-  config.workers = workers;
   config.master_seed = spec.seed;
   config.grid_height = spec.grid_height;
   config.grid_width = spec.grid_width;
@@ -171,9 +182,7 @@ batch::BatchConfig to_batch_config(const ScenarioSpec& spec, std::uint32_t worke
   config.loss.per_move_loss = spec.per_move_loss;
   config.loss.background_loss = spec.background_loss;
   config.max_rounds = spec.max_rounds;
-  config.keep_schedules = keep_schedules;
-  config.plan.intra_plan_workers = spec.intra_plan_workers;
-  config.replan = spec.replan;
+  config.exec = std::move(policy);
   return config;
 }
 
@@ -182,13 +191,7 @@ CampaignRunner::CampaignRunner(CampaignConfig config) : config_(std::move(config
 ScenarioOutcome CampaignRunner::run_one(const ScenarioSpec& spec) const {
   validate(spec);
 
-  batch::BatchConfig config = to_batch_config(spec, config_.workers, config_.keep_schedules);
-  if (config_.intra_plan_workers >= 0)
-    config.plan.intra_plan_workers = static_cast<std::uint32_t>(config_.intra_plan_workers);
-  if (config_.replan >= 0)
-    config.replan = config_.replan == 0 ? ReplanMode::Scratch : ReplanMode::Delta;
-  if (config_.plan_cache) config.plan_cache = std::make_shared<batch::PlanCache>();
-  const batch::BatchPlanner planner(config);
+  const batch::BatchPlanner planner(to_batch_config(spec, resolve_exec(config_, spec)));
   batch::BatchReport batch;
   if (spec.load == LoadProfile::Uniform) {
     // The generated path draws exactly this scenario's workload (Bernoulli
@@ -206,22 +209,32 @@ CampaignReport CampaignRunner::run_selected(const std::vector<const ScenarioSpec
                                             const std::vector<std::size_t>& indices) const {
   QRM_EXPECTS(selected.size() == indices.size());
   CampaignReport report;
+
+  // Resolve the campaign-scope policy once per shard: a true plan_cache
+  // resolution attaches the shard's shared cache here, so every scenario
+  // below inherits the same one (matching what an independent shard
+  // process would build).
+  const exec::ExecPolicy campaign = campaign_policy(config_);
+
   if (selected.empty()) {
     // An empty shard: valid, merges as a no-op. Resolve the worker count
     // without paying for an idle pool.
-    report.workers = batch::ThreadPool::resolve_workers(config_.workers);
+    report.workers = ThreadPool::resolve_workers(campaign.workers);
     return report;
   }
   for (const ScenarioSpec* spec : selected) validate(*spec);
 
-  std::shared_ptr<batch::PlanCache> cache;
-  if (config_.plan_cache) cache = std::make_shared<batch::PlanCache>();
-
   // One pool serves the whole shard: workload capture below, the
-  // scenarios x shots fan-out, and — via intra_plan_pool — every shot's
-  // quadrant tasks. Sharing one budget is the arbitration scheme; run_all's
-  // self-claiming join is what makes the nesting deadlock-free.
-  auto pool = std::make_shared<batch::ThreadPool>(config_.workers);
+  // scenarios x shots fan-out, and — via the policy's pool field — every
+  // shot's quadrant tasks. Sharing one budget is the arbitration scheme;
+  // run_all's self-claiming join is what makes the nesting deadlock-free.
+  auto pool = std::make_shared<ThreadPool>(campaign.workers);
+
+  // Re-resolving per spec over the campaign-scope base is idempotent for
+  // the campaign/CLI layers and folds in each spec's own keys; with the
+  // cache already attached, a true plan_cache resolution keeps it shared.
+  CampaignConfig scoped = config_;
+  scoped.exec = campaign;
 
   // Per-scenario planners + pre-drawn workloads, prepared up front (the
   // draws themselves fan out on the pool).
@@ -232,14 +245,9 @@ CampaignReport CampaignRunner::run_selected(const std::vector<const ScenarioSpec
   std::vector<Prepared> prepared;
   prepared.reserve(selected.size());
   for (const ScenarioSpec* spec : selected) {
-    batch::BatchConfig config = to_batch_config(*spec, config_.workers, config_.keep_schedules);
-    if (config_.intra_plan_workers >= 0)
-      config.plan.intra_plan_workers = static_cast<std::uint32_t>(config_.intra_plan_workers);
-    if (config_.replan >= 0)
-      config.replan = config_.replan == 0 ? ReplanMode::Scratch : ReplanMode::Delta;
-    if (config.plan.intra_plan_workers > 0) config.plan.intra_plan_pool = pool;
-    config.plan_cache = cache;
-    prepared.push_back({batch::BatchPlanner(std::move(config)),
+    exec::ExecPolicy policy = resolve_exec(scoped, *spec);
+    if (policy.intra_plan_workers > 0) policy.pool = pool;
+    prepared.push_back({batch::BatchPlanner(to_batch_config(*spec, std::move(policy))),
                         spec->load == LoadProfile::Uniform ? std::vector<OccupancyGrid>{}
                                                            : capture_workloads(*spec, pool.get())});
   }
@@ -317,7 +325,7 @@ CampaignReport CampaignRunner::run_selected(const std::vector<const ScenarioSpec
         finalize_outcome(*selected[i], indices[i], std::move(report.scenarios[i].batch));
 
   report.wall_us = wall.elapsed_microseconds();
-  if (cache) report.plan_cache = cache->stats();
+  if (campaign.plan_cache) report.plan_cache = campaign.plan_cache->stats();
   return report;
 }
 

@@ -25,38 +25,56 @@
 #include <vector>
 
 #include "batch/batch_planner.hpp"
-#include "batch/plan_cache.hpp"
+#include "exec/plan_cache.hpp"
+#include "exec/policy.hpp"
 #include "scenario/spec.hpp"
 
 namespace qrm::scenario {
 
 struct CampaignConfig {
-  std::uint32_t workers = 0;    ///< shot pool size; 0 -> hardware_concurrency
   std::string filter;           ///< scenario name-substring / tag filter
-  bool keep_schedules = false;  ///< retain per-round schedules per shot
   /// Shard count over the filtered matrix. 1 = unsharded. run() with
   /// shards > 1 executes every shard in-process and merges; run_shard()
   /// executes only shard_index (the multi-process mode).
   std::uint32_t shards = 1;
   std::uint32_t shard_index = 0;  ///< which shard run_shard() executes
-  /// Share one batch::PlanCache across the scenarios of a run (per shard,
-  /// matching what independent shard processes would see). Outcomes are
-  /// bit-identical either way; Pattern scenarios and repeated sweep cells
-  /// skip replanning when on.
-  bool plan_cache = true;
-  /// Campaign-level override of every spec's intra_plan_workers knob:
-  /// -1 = honour each spec, >= 0 = force this value. Plans are bit-identical
-  /// for any worker count, so the override changes no outcome, fingerprint,
-  /// or spec serialization — which is exactly what lets the golden corpus be
-  /// re-run under parallel planning without touching the specs.
-  std::int32_t intra_plan_workers = -1;
-  /// Campaign-level override of every spec's replan knob: -1 = honour each
-  /// spec, 0 = force Scratch, 1 = force Delta. Delta plans are bit-identical
-  /// to scratch, so — like intra_plan_workers — the override changes no
-  /// outcome, fingerprint, or spec serialization, which is what lets the
-  /// golden corpus be re-run under ReplanMode::Delta untouched.
-  std::int32_t replan = -1;
+
+  /// Base execution policy: pool sizing (exec.workers sizes the one pool a
+  /// shard's capture + scenarios x shots x quadrants all share) and any
+  /// pre-attached plan cache (a cache attached here is kept by the
+  /// plan_cache=true default below and shared across every shard of the
+  /// run — the cross-shard warm-cache mode; leave it null for today's
+  /// per-shard caches).
+  exec::ExecPolicy exec;
+  /// Campaign layer of the precedence stack: wins over each spec's keys,
+  /// loses to the CLI layer. Fields left unset honour each spec — the old
+  /// `-1` sentinels, now expressed as std::optional. plan_cache defaults
+  /// on: Pattern scenarios and repeated sweep cells skip replanning, and
+  /// outcomes are bit-identical either way. Every knob here is pure
+  /// mechanism (plans are bit-identical for any worker count, Delta ==
+  /// Scratch, hits == cold plans), so no override can change an outcome,
+  /// fingerprint, or spec serialization — which is exactly what lets the
+  /// golden corpus be re-run under any policy without touching the specs.
+  exec::ExecOverrides overrides = {.plan_cache = true};
+  /// CLI layer (highest precedence); scenario_runner writes parsed flags
+  /// here. Precedence over spec keys and campaign overrides is pinned by
+  /// tests/exec_test.cpp.
+  exec::ExecOverrides cli;
 };
+
+/// The campaign-scope policy a run executes under: campaign overrides and
+/// CLI flags applied over the base — no spec layer, since per-spec keys
+/// resolve per scenario (resolve_exec). A true plan_cache resolution
+/// attaches a cache here; run_selected resolves once per shard so the
+/// shard's scenarios share one cache (matching what independent shard
+/// processes would see).
+[[nodiscard]] exec::ExecPolicy campaign_policy(const CampaignConfig& config);
+
+/// The fully resolved policy one scenario runs under: spec keys
+/// (intra_plan_workers, replan), then campaign overrides, then CLI flags,
+/// over the base policy. CLI > campaign > spec > default.
+[[nodiscard]] exec::ExecPolicy resolve_exec(const CampaignConfig& config,
+                                            const ScenarioSpec& spec);
 
 /// One scenario's batch outcome plus its SortedSample aggregation.
 struct ScenarioOutcome {
@@ -95,7 +113,7 @@ struct CampaignReport {
   double wall_us = 0.0;       ///< end-to-end campaign wall time
   /// Plan-cache counters for the run (measurement: hit/miss split depends
   /// on scheduling; zeros when the cache is off).
-  batch::PlanCacheStats plan_cache;
+  exec::PlanCacheStats plan_cache;
 
   /// Order-sensitive combination of the per-scenario fingerprints. Two
   /// campaigns over the same scenario list must agree here regardless of
@@ -108,12 +126,14 @@ struct CampaignReport {
 /// move it between shards.
 [[nodiscard]] std::uint32_t shard_of(const std::string& name, std::uint32_t shards);
 
-/// The exact BatchConfig a scenario runs as. Exposed so tests (and anyone
-/// porting a hand-coded sweep binary) can prove the scenario path is
-/// bit-identical to driving BatchPlanner directly. The plan cache is not
-/// set here — CampaignRunner attaches its shared cache afterwards.
-[[nodiscard]] batch::BatchConfig to_batch_config(const ScenarioSpec& spec, std::uint32_t workers,
-                                                 bool keep_schedules = false);
+/// The exact BatchConfig a scenario runs as, under an already-resolved
+/// execution policy (resolve_exec folds the spec's own intra_plan_workers /
+/// replan keys into the policy — this function copies `policy` verbatim and
+/// applies no spec knobs itself). Exposed so tests (and anyone porting a
+/// hand-coded sweep binary) can prove the scenario path is bit-identical to
+/// driving BatchPlanner directly.
+[[nodiscard]] batch::BatchConfig to_batch_config(const ScenarioSpec& spec,
+                                                 exec::ExecPolicy policy = {});
 
 class CampaignRunner {
  public:

@@ -1,6 +1,7 @@
-// Tests for the qrm::batch subsystem: the ThreadPool substrate and the
-// BatchPlanner's hard determinism guarantee — identical outcomes for any
-// worker count — plus the ControlSystem::run_batch entry point.
+// Tests for the qrm::batch subsystem: the shared qrm::ThreadPool substrate
+// (util/thread_pool.hpp) and the BatchPlanner's hard determinism guarantee —
+// identical outcomes for any worker count — plus the
+// ControlSystem::run_batch entry point.
 
 #include <gtest/gtest.h>
 
@@ -14,7 +15,7 @@
 
 #include "util/assert.hpp"
 #include "batch/batch_planner.hpp"
-#include "batch/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 #include "lattice/region.hpp"
 #include "loading/loader.hpp"
 #include "runtime/control_system.hpp"
@@ -29,14 +30,14 @@ namespace {
 // ---------------------------------------------------------------------------
 
 TEST(ThreadPool, WorkerCountIsFixedAndResolved) {
-  const batch::ThreadPool pool(3);
+  const ThreadPool pool(3);
   EXPECT_EQ(pool.worker_count(), 3u);
-  EXPECT_GE(batch::ThreadPool::resolve_workers(0), 1u);
-  EXPECT_EQ(batch::ThreadPool::resolve_workers(7), 7u);
+  EXPECT_GE(ThreadPool::resolve_workers(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_workers(7), 7u);
 }
 
 TEST(ThreadPool, RunsEveryTaskExactlyOnceInAnyOrder) {
-  batch::ThreadPool pool(4);
+  ThreadPool pool(4);
   std::mutex mutex;
   std::set<int> seen;
   std::vector<std::future<void>> done;
@@ -52,13 +53,13 @@ TEST(ThreadPool, RunsEveryTaskExactlyOnceInAnyOrder) {
 }
 
 TEST(ThreadPool, SubmitReturnsTaskValueThroughFuture) {
-  batch::ThreadPool pool(2);
+  ThreadPool pool(2);
   auto future = pool.submit([] { return 6 * 7; });
   EXPECT_EQ(future.get(), 42);
 }
 
 TEST(ThreadPool, ExceptionPropagatesThroughFutureAndWorkerSurvives) {
-  batch::ThreadPool pool(1);
+  ThreadPool pool(1);
   auto failing = pool.submit([]() -> int { throw std::runtime_error("task boom"); });
   EXPECT_THROW(
       {
@@ -81,7 +82,7 @@ TEST(ThreadPool, ShutdownDrainsQueuedTasksWithoutDeadlock) {
   std::atomic<int> executed{0};
   std::vector<std::future<void>> done;
   {
-    batch::ThreadPool pool(1);
+    ThreadPool pool(1);
     // First task blocks the only worker so the rest stay queued...
     done.push_back(pool.submit([open] { open.wait(); }));
     for (int i = 0; i < 50; ++i) {
@@ -100,7 +101,7 @@ TEST(ThreadPool, RunAllCompletesNestedFanOutFromAPoolTask) {
   // make progress even when the only worker is the caller itself. 1 worker,
   // two nesting levels — a blocking join would deadlock (and trip the ctest
   // TIMEOUT); the self-claiming caller drains its own fan-out.
-  batch::ThreadPool pool(1);
+  ThreadPool pool(1);
   std::atomic<int> executed{0};
   auto outer = pool.submit([&] {
     std::vector<std::function<void()>> inner;
@@ -118,7 +119,7 @@ TEST(ThreadPool, RunAllCompletesNestedFanOutFromAPoolTask) {
 }
 
 TEST(ThreadPool, RunAllRunsEveryTaskAndRethrowsTheFirstException) {
-  batch::ThreadPool pool(2);
+  ThreadPool pool(2);
   std::vector<std::function<void()>> tasks;
   std::atomic<int> executed{0};
   for (int i = 0; i < 16; ++i) {
@@ -176,10 +177,10 @@ batch::BatchConfig small_batch(std::uint32_t shots, std::uint32_t workers) {
   config.grid_width = 24;
   config.fill = 0.6;
   config.shots = shots;
-  config.workers = workers;
+  config.exec.workers = workers;
   config.master_seed = 0xBA7C4;
   config.loss.per_move_loss = 0.02;
-  config.keep_schedules = true;
+  config.exec.keep_schedules = true;
   return config;
 }
 
@@ -217,7 +218,7 @@ TEST(BatchPlanner, StressShotsFarExceedWorkers) {
   config.grid_height = 16;
   config.grid_width = 16;
   config.max_rounds = 4;
-  config.keep_schedules = false;
+  config.exec.keep_schedules = false;
   const batch::BatchPlanner planner(config);
   const batch::BatchReport pooled = planner.run();
   ASSERT_EQ(pooled.shots.size(), 96u);
@@ -240,7 +241,7 @@ TEST(BatchPlanner, NestedShotAndQuadrantParallelismStressStaysBitIdentical) {
   const batch::BatchReport plain = batch::BatchPlanner(small_batch(24, 2)).run();
   for (const std::uint32_t workers : {1u, 2u}) {
     batch::BatchConfig config = small_batch(24, workers);
-    config.plan.intra_plan_workers = 4;
+    config.exec.intra_plan_workers = 4;
     expect_same_outcomes(batch::BatchPlanner(config).run(), plain);
   }
 }
@@ -276,7 +277,7 @@ TEST(BatchPlanner, BaselineAlgorithmsBatchBehindTheSameInterface) {
   config.algorithm = "tetris";
   config.loss = {.per_move_loss = 0.0, .background_loss = 0.0};
   const batch::BatchReport one = batch::BatchPlanner(config).run();
-  config.workers = 4;
+  config.exec.workers = 4;
   const batch::BatchReport four = batch::BatchPlanner(config).run();
   for (const batch::ShotResult& shot : one.shots) {
     EXPECT_TRUE(shot.success);
@@ -296,7 +297,7 @@ TEST(BatchPlanner, ImagedDetectionReportsFidelityPerShot) {
     EXPECT_GT(shot.detect_us, 0.0);
   }
   // Determinism must hold across worker counts with photon noise in play.
-  config.workers = 8;
+  config.exec.workers = 8;
   expect_same_outcomes(report, batch::BatchPlanner(config).run());
 }
 
@@ -354,7 +355,7 @@ TEST(ControlSystemBatch, RunBatchUsesTheSystemPlanAndStaysDeterministic) {
   request.grid_width = 24;
   request.fill = 0.6;
   request.shots = 6;
-  request.workers = 2;
+  request.exec.workers = 2;
   const batch::BatchReport a = control.run_batch(request);
   ASSERT_EQ(a.shots.size(), 6u);
   for (const batch::ShotResult& shot : a.shots) {
@@ -363,7 +364,7 @@ TEST(ControlSystemBatch, RunBatchUsesTheSystemPlanAndStaysDeterministic) {
     EXPECT_EQ(shot.defects_remaining,
               196 - shot.final_grid.atom_count(system.accelerator.plan.target));
   }
-  request.workers = 5;
+  request.exec.workers = 5;
   const batch::BatchReport b = control.run_batch(request);
   EXPECT_EQ(a.fingerprint(), b.fingerprint());
 }

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "batch/batch_planner.hpp"
-#include "batch/plan_cache.hpp"
+#include "exec/plan_cache.hpp"
 #include "core/delta_planner.hpp"
 #include "core/planner.hpp"
 #include "lattice/quadrant.hpp"
@@ -216,9 +216,8 @@ TEST(DeltaReplan, WorkerCountDoesNotChangeDeltaPlans) {
   }
   for (const std::uint32_t workers : {0u, 2u, 4u}) {
     SCOPED_TRACE("workers=" + std::to_string(workers));
-    QrmConfig config = delta_config(24, 12);
-    config.intra_plan_workers = workers;
-    DeltaReplanner replanner(config);
+    DeltaReplanner replanner(delta_config(24, 12), DeltaReplanner::Options{},
+                             PlanParallelism{workers, nullptr});
     OccupancyGrid grid = base;
     Rng rng(5);  // same mutation stream as the reference
     for (std::size_t round = 0; round < reference.size(); ++round) {
@@ -239,11 +238,11 @@ TEST(DeltaReplan, LoopDeltaReportMatchesScratchFieldForField) {
     config.plan.target = centered_square(24, 14);
     config.loss.per_move_loss = 0.03;
     config.loss.background_loss = 0.005;
-    config.keep_schedules = true;
+    config.exec.keep_schedules = true;
 
-    config.replan = ReplanMode::Scratch;
+    config.exec.replan = ReplanMode::Scratch;
     const rt::LoopReport scratch = rt::run_rearrangement_loop(initial, config);
-    config.replan = ReplanMode::Delta;
+    config.exec.replan = ReplanMode::Delta;
     const rt::LoopReport delta = rt::run_rearrangement_loop(initial, config);
 
     EXPECT_EQ(delta.success, scratch.success);
@@ -295,7 +294,7 @@ TEST(DeltaReplan, LoopWithQuadrantLocalDamageReusesKernels) {
   // and leaves >= target-area atoms, so the loop keeps replanning a grid
   // that only ever changes inside NW.
   config.loss.seed = 59;
-  config.replan = ReplanMode::Delta;
+  config.exec.replan = ReplanMode::Delta;
   config.max_rounds = 8;
   const rt::LoopReport report = rt::run_rearrangement_loop(initial, config);
 
@@ -308,7 +307,7 @@ TEST(DeltaReplan, LoopWithQuadrantLocalDamageReusesKernels) {
       << "stalled rounds (every repair killed or blocked) must reuse the whole plan";
 
   // And the delta run is still the scratch run, field for field.
-  config.replan = ReplanMode::Scratch;
+  config.exec.replan = ReplanMode::Scratch;
   const rt::LoopReport scratch = rt::run_rearrangement_loop(initial, config);
   EXPECT_EQ(report.success, scratch.success);
   EXPECT_EQ(report.total_atoms_lost, scratch.total_atoms_lost);
@@ -326,16 +325,16 @@ TEST(DeltaReplan, BatchFingerprintUnchangedUnderDelta) {
   config.grid_width = 16;
   config.fill = 0.62;
   config.shots = 6;
-  config.workers = 2;
+  config.exec.workers = 2;
   config.max_rounds = 6;
   config.loss.per_move_loss = 0.03;
 
-  config.replan = ReplanMode::Scratch;
+  config.exec.replan = ReplanMode::Scratch;
   const std::uint64_t scratch = batch::BatchPlanner(config).run().fingerprint();
-  config.replan = ReplanMode::Delta;
+  config.exec.replan = ReplanMode::Delta;
   EXPECT_EQ(batch::BatchPlanner(config).run().fingerprint(), scratch);
 
-  config.plan_cache = std::make_shared<batch::PlanCache>();
+  config.exec.plan_cache = std::make_shared<exec::PlanCache>();
   EXPECT_EQ(batch::BatchPlanner(config).run().fingerprint(), scratch)
       << "delta + plan cache drifted the batch fingerprint";
 }

@@ -49,14 +49,11 @@ std::uint64_t spec_fingerprint(const scenario::ScenarioSpec& spec) {
   return fnv::hash_text(serialize(spec));
 }
 
-std::uint64_t outcome_fingerprint(const scenario::ScenarioSpec& spec, bool plan_cache = true,
-                                  std::int32_t intra_plan_workers = -1,
-                                  std::int32_t replan = -1) {
+std::uint64_t outcome_fingerprint(const scenario::ScenarioSpec& spec,
+                                  qrm::exec::ExecOverrides overrides = {.plan_cache = true}) {
   scenario::CampaignConfig config;
-  config.workers = 4;  // fingerprints are worker-count independent
-  config.plan_cache = plan_cache;
-  config.intra_plan_workers = intra_plan_workers;
-  config.replan = replan;
+  config.exec.workers = 4;  // fingerprints are worker-count independent
+  config.overrides = overrides;
   return scenario::CampaignRunner(config).run_one(spec).fingerprint;
 }
 
@@ -121,7 +118,7 @@ TEST(GoldenFingerprints, PatternScenariosMatchGoldenWithTheCacheOff) {
     if (spec.load != scenario::LoadProfile::Pattern) continue;
     const GoldenRow* row = find_row(spec.name);
     if (row == nullptr || row->outcome_fingerprint == 0) continue;
-    EXPECT_EQ(outcome_fingerprint(spec, /*plan_cache=*/false), row->outcome_fingerprint)
+    EXPECT_EQ(outcome_fingerprint(spec, {.plan_cache = false}), row->outcome_fingerprint)
         << "cache-off outcome diverged from golden for '" << spec.name << "'";
   }
 }
@@ -135,7 +132,7 @@ TEST(GoldenFingerprints, OutcomesMatchGoldenUnderParallelPlanning) {
     const GoldenRow* row = find_row(spec.name);
     if (row == nullptr || row->outcome_fingerprint == 0) continue;
     const std::uint64_t recomputed =
-        outcome_fingerprint(spec, /*plan_cache=*/true, /*intra_plan_workers=*/4);
+        outcome_fingerprint(spec, {.intra_plan_workers = 4, .plan_cache = true});
     EXPECT_EQ(recomputed, row->outcome_fingerprint)
         << "parallel planning drifted the outcome for '" << spec.name << "': golden 0x"
         << std::hex << row->outcome_fingerprint << ", recomputed 0x" << recomputed << std::dec
@@ -154,8 +151,8 @@ TEST(GoldenFingerprints, OutcomesMatchGoldenUnderDeltaReplanning) {
   for (const scenario::ScenarioSpec& spec : scenario::registry()) {
     const GoldenRow* row = find_row(spec.name);
     if (row == nullptr || row->outcome_fingerprint == 0) continue;
-    const std::uint64_t recomputed = outcome_fingerprint(spec, /*plan_cache=*/false,
-                                                         /*intra_plan_workers=*/-1, /*replan=*/1);
+    const std::uint64_t recomputed =
+        outcome_fingerprint(spec, {.replan = ReplanMode::Delta, .plan_cache = false});
     EXPECT_EQ(recomputed, row->outcome_fingerprint)
         << "delta replanning drifted the outcome for '" << spec.name << "': golden 0x"
         << std::hex << row->outcome_fingerprint << ", recomputed 0x" << recomputed << std::dec

@@ -1,5 +1,5 @@
 // Intra-plan parallelism battery: pins the tentpole determinism contract —
-// QrmConfig::intra_plan_workers is an execution hint that can never change a
+// PlanParallelism is an execution mechanism that can never change a
 // plan. Sequential and quadrant-parallel planning must produce bit-identical
 // PlanResults (schedule, final grid, stats) for any worker count, any pool
 // topology (transient, shared, nested inside a busy pool), both pass modes,
@@ -26,23 +26,25 @@ namespace {
 
 /// The paper's centred-square rule at the suite's Bernoulli(0.55) load:
 /// ~0.6*size keeps every quadrant solvable at the sizes used here.
-[[nodiscard]] QrmConfig plan_config(std::int32_t size, PlanMode mode, std::uint32_t workers,
-                                    std::shared_ptr<ThreadPool> pool = nullptr) {
+[[nodiscard]] QrmConfig plan_config(std::int32_t size, PlanMode mode) {
   QrmConfig config;
   config.target = centered_square(size, size * 6 / 10 / 2 * 2);
   config.mode = mode;
-  config.intra_plan_workers = workers;
-  config.intra_plan_pool = std::move(pool);
   return config;
+}
+
+[[nodiscard]] QrmPlanner make_planner(std::int32_t size, PlanMode mode, std::uint32_t workers,
+                                      std::shared_ptr<ThreadPool> pool = nullptr) {
+  return QrmPlanner(plan_config(size, mode), PlanParallelism{workers, std::move(pool)});
 }
 
 TEST(ParallelPlan, BitEqualAcrossWorkerCountsGridsAndModes) {
   for (const std::int32_t size : {64, 128, 256}) {
     const OccupancyGrid grid = testutil::seeded_grid(size, size, 0.55, 0x9E3779B9u + size);
     for (const PlanMode mode : {PlanMode::Compact, PlanMode::Balanced}) {
-      const PlanResult sequential = QrmPlanner(plan_config(size, mode, 0)).plan(grid);
+      const PlanResult sequential = make_planner(size, mode, 0).plan(grid);
       for (const std::uint32_t workers : {1u, 2u, 4u, 8u}) {
-        const PlanResult parallel = QrmPlanner(plan_config(size, mode, workers)).plan(grid);
+        const PlanResult parallel = make_planner(size, mode, workers).plan(grid);
         EXPECT_EQ(parallel, sequential)
             << size << "x" << size << " " << to_cstring(mode) << " workers=" << workers;
       }
@@ -52,14 +54,14 @@ TEST(ParallelPlan, BitEqualAcrossWorkerCountsGridsAndModes) {
 
 TEST(ParallelPlan, TransientAndSharedPoolsAgreeWithSequential) {
   const OccupancyGrid grid = testutil::seeded_grid(64, 64, 0.55, 77);
-  const PlanResult sequential = QrmPlanner(plan_config(64, PlanMode::Balanced, 0)).plan(grid);
+  const PlanResult sequential = make_planner(64, PlanMode::Balanced, 0).plan(grid);
   // No pool supplied: QrmPlanner spins a transient one per call.
-  const PlanResult transient = QrmPlanner(plan_config(64, PlanMode::Balanced, 4)).plan(grid);
+  const PlanResult transient = make_planner(64, PlanMode::Balanced, 4).plan(grid);
   EXPECT_EQ(transient, sequential);
   // Caller-owned shared pool (the BatchPlanner / CampaignRunner topology),
   // reused across plans.
   const auto pool = std::make_shared<ThreadPool>(2);
-  const QrmPlanner shared(plan_config(64, PlanMode::Balanced, 4, pool));
+  const QrmPlanner shared = make_planner(64, PlanMode::Balanced, 4, pool);
   EXPECT_EQ(shared.plan(grid), sequential);
   EXPECT_EQ(shared.plan(grid), sequential) << "pool reuse must not perturb plans";
 }
@@ -72,9 +74,9 @@ TEST(ParallelPlan, NestedInsideBusySingleWorkerPoolCompletes) {
   // fan-out. A blocking fork-join would deadlock here (and trip the ctest
   // TIMEOUT); the self-claiming one completes with the sequential plan.
   const OccupancyGrid grid = testutil::seeded_grid(32, 32, 0.55, 5);
-  const PlanResult sequential = QrmPlanner(plan_config(32, PlanMode::Balanced, 0)).plan(grid);
+  const PlanResult sequential = make_planner(32, PlanMode::Balanced, 0).plan(grid);
   const auto pool = std::make_shared<ThreadPool>(1);
-  const QrmPlanner planner(plan_config(32, PlanMode::Balanced, 4, pool));
+  const QrmPlanner planner = make_planner(32, PlanMode::Balanced, 4, pool);
   auto nested = pool->submit([&] { return planner.plan(grid); });
   EXPECT_EQ(nested.get(), sequential);
 }
@@ -87,11 +89,11 @@ TEST(ParallelPlan, ShotTimesQuadrantFanOutOnOneWorkerPoolCompletes) {
   batch::BatchConfig config;
   config.plan.target = centered_square(32, 18);
   config.shots = 6;
-  config.workers = 1;
+  config.exec.workers = 1;
   config.grid_height = config.grid_width = 32;
   config.max_rounds = 3;
   const batch::BatchReport sequential = batch::BatchPlanner(config).run();
-  config.plan.intra_plan_workers = 4;
+  config.exec.intra_plan_workers = 4;
   const batch::BatchReport nested = batch::BatchPlanner(config).run();
   EXPECT_EQ(nested.fingerprint(), sequential.fingerprint());
   ASSERT_EQ(nested.shots.size(), sequential.shots.size());
@@ -114,7 +116,7 @@ TEST(ParallelPlan, BothArchitecturesWorkflowInvariantUnderParallelPlanning) {
     config.imaging.background_photons = 1.0;
     config.detection.pixels_per_site = config.imaging.pixels_per_site;
     const rt::WorkflowReport sequential = rt::ControlSystem(config).run(atoms);
-    config.accelerator.plan.intra_plan_workers = 4;
+    config.plan_parallelism.workers = 4;
     const rt::WorkflowReport parallel = rt::ControlSystem(config).run(atoms);
     EXPECT_EQ(parallel.target_filled, sequential.target_filled) << to_cstring(architecture);
     EXPECT_EQ(parallel.defects_remaining, sequential.defects_remaining)
@@ -130,7 +132,7 @@ TEST(ParallelPlan, PhaseTimersAreMeasurementNotIdentity) {
   // depends on it) while staying outside plan identity: two runs with
   // different timer values still compare equal.
   const OccupancyGrid grid = testutil::seeded_grid(64, 64, 0.55, 3);
-  const PlanResult a = QrmPlanner(plan_config(64, PlanMode::Balanced, 0)).plan(grid);
+  const PlanResult a = make_planner(64, PlanMode::Balanced, 0).plan(grid);
   EXPECT_GT(a.stats.timers.pass_compute_us + a.stats.timers.merge_us + a.stats.timers.realize_us,
             0.0);
   PlanResult b = a;

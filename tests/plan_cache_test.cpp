@@ -1,4 +1,4 @@
-// Tests for batch::PlanCache: exact-hit semantics (a hit is bit-equal to a
+// Tests for exec::PlanCache: exact-hit semantics (a hit is bit-equal to a
 // cold plan), config-key separation across every planner axis, FIFO
 // eviction, and the BatchPlanner wiring — outcome fingerprints must be
 // identical with the cache on, off, or shared across batches.
@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "batch/batch_planner.hpp"
-#include "batch/plan_cache.hpp"
+#include "exec/plan_cache.hpp"
 #include "core/planner.hpp"
 #include "lattice/region.hpp"
 #include "loading/loader.hpp"
@@ -31,8 +31,8 @@ OccupancyGrid tiny_grid(std::uint64_t seed, double fill = 0.7) {
 TEST(PlanCache, HitIsBitEqualToColdPlan) {
   const QrmConfig config = tiny_config();
   const QrmPlanner planner(config);
-  const std::uint64_t key = batch::PlanCache::config_key("qrm", config);
-  batch::PlanCache cache;
+  const std::uint64_t key = exec::PlanCache::config_key("qrm", config);
+  exec::PlanCache cache;
 
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const OccupancyGrid grid = tiny_grid(seed);
@@ -43,7 +43,7 @@ TEST(PlanCache, HitIsBitEqualToColdPlan) {
     ASSERT_NE(hit, nullptr);
     EXPECT_EQ(*hit, cold) << "cache hit diverged from cold plan for seed " << seed;
   }
-  const batch::PlanCacheStats stats = cache.stats();
+  const exec::PlanCacheStats stats = cache.stats();
   EXPECT_EQ(stats.hits, 5u);
   EXPECT_EQ(stats.misses, 5u);
   EXPECT_EQ(stats.entries, 5u);
@@ -52,8 +52,8 @@ TEST(PlanCache, HitIsBitEqualToColdPlan) {
 
 TEST(PlanCache, MissesOnDifferentGridOrConfigKey) {
   const QrmConfig config = tiny_config();
-  const std::uint64_t key = batch::PlanCache::config_key("qrm", config);
-  batch::PlanCache cache;
+  const std::uint64_t key = exec::PlanCache::config_key("qrm", config);
+  exec::PlanCache cache;
   const OccupancyGrid grid = tiny_grid(1);
   cache.insert(key, grid, QrmPlanner(config).plan(grid));
 
@@ -64,44 +64,44 @@ TEST(PlanCache, MissesOnDifferentGridOrConfigKey) {
 
 TEST(PlanCache, ConfigKeySeparatesEveryPlannerAxis) {
   const QrmConfig base = tiny_config();
-  const std::uint64_t base_key = batch::PlanCache::config_key("qrm", base);
+  const std::uint64_t base_key = exec::PlanCache::config_key("qrm", base);
 
-  EXPECT_NE(batch::PlanCache::config_key("tetris", base), base_key);
+  EXPECT_NE(exec::PlanCache::config_key("tetris", base), base_key);
 
   QrmConfig changed = base;
   changed.mode = PlanMode::Compact;
-  EXPECT_NE(batch::PlanCache::config_key("qrm", changed), base_key);
+  EXPECT_NE(exec::PlanCache::config_key("qrm", changed), base_key);
 
   changed = base;
   changed.target = centered_region(16, 16, 6, 6);
-  EXPECT_NE(batch::PlanCache::config_key("qrm", changed), base_key);
+  EXPECT_NE(exec::PlanCache::config_key("qrm", changed), base_key);
 
   changed = base;
   changed.max_iterations = 7;
-  EXPECT_NE(batch::PlanCache::config_key("qrm", changed), base_key);
+  EXPECT_NE(exec::PlanCache::config_key("qrm", changed), base_key);
 
   changed = base;
   changed.merge_quadrants = false;
-  EXPECT_NE(batch::PlanCache::config_key("qrm", changed), base_key);
+  EXPECT_NE(exec::PlanCache::config_key("qrm", changed), base_key);
 
   changed = base;
   changed.aod_legalize = false;
-  EXPECT_NE(batch::PlanCache::config_key("qrm", changed), base_key);
+  EXPECT_NE(exec::PlanCache::config_key("qrm", changed), base_key);
 
   changed = base;
   changed.sen_limit = 3;
-  EXPECT_NE(batch::PlanCache::config_key("qrm", changed), base_key);
+  EXPECT_NE(exec::PlanCache::config_key("qrm", changed), base_key);
 
   // And the key is a pure function of its inputs.
-  EXPECT_EQ(batch::PlanCache::config_key("qrm", base), base_key);
+  EXPECT_EQ(exec::PlanCache::config_key("qrm", base), base_key);
 }
 
 TEST(PlanCache, InsertKeepsTheFirstPlanForACell) {
   // Two concurrent shots may plan the same cell; both plans are bit-equal
   // by the purity contract, and the first insertion wins.
   const QrmConfig config = tiny_config();
-  const std::uint64_t key = batch::PlanCache::config_key("qrm", config);
-  batch::PlanCache cache;
+  const std::uint64_t key = exec::PlanCache::config_key("qrm", config);
+  exec::PlanCache cache;
   const OccupancyGrid grid = tiny_grid(1);
   const std::shared_ptr<const PlanResult> first =
       cache.insert(key, grid, QrmPlanner(config).plan(grid));
@@ -112,18 +112,18 @@ TEST(PlanCache, InsertKeepsTheFirstPlanForACell) {
 }
 
 TEST(PlanCache, FifoEvictionCapsEntries) {
-  batch::PlanCacheConfig cache_config;
+  exec::PlanCacheConfig cache_config;
   cache_config.max_entries = 4;
-  batch::PlanCache cache(cache_config);
+  exec::PlanCache cache(cache_config);
   const QrmConfig config = tiny_config();
   const QrmPlanner planner(config);
-  const std::uint64_t key = batch::PlanCache::config_key("qrm", config);
+  const std::uint64_t key = exec::PlanCache::config_key("qrm", config);
 
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     const OccupancyGrid grid = tiny_grid(seed);
     cache.insert(key, grid, planner.plan(grid));
   }
-  const batch::PlanCacheStats stats = cache.stats();
+  const exec::PlanCacheStats stats = cache.stats();
   EXPECT_EQ(stats.entries, 4u);
   EXPECT_EQ(stats.evictions, 6u);
   // Oldest insertions are gone, the newest survive.
@@ -147,12 +147,12 @@ TEST(PlanCache, CollidingKeysStillResolveHitsByGridContent) {
   // forced into shared buckets. Hits must still return exactly the plan
   // for the looked-up grid — collisions can narrow a bucket, never
   // substitute a wrong plan.
-  batch::PlanCacheConfig cache_config;
+  exec::PlanCacheConfig cache_config;
   cache_config.key_bits = 1;
-  batch::PlanCache cache(cache_config);
+  exec::PlanCache cache(cache_config);
   const QrmConfig config = tiny_config();
   const QrmPlanner planner(config);
-  const std::uint64_t key = batch::PlanCache::config_key("qrm", config);
+  const std::uint64_t key = exec::PlanCache::config_key("qrm", config);
 
   for (std::uint64_t seed = 1; seed <= 6; ++seed)
     cache.insert(key, tiny_grid(seed), planner.plan(tiny_grid(seed)));
@@ -174,18 +174,18 @@ TEST(PlanCache, FifoEvictionStaysExactUnderForcedCollisions) {
   // the globally oldest insertion (bucket-front of the front key — the
   // deque and the bucket chains append in the same order), and entries_
   // must track the real entry count, not the bucket count.
-  batch::PlanCacheConfig cache_config;
+  exec::PlanCacheConfig cache_config;
   cache_config.key_bits = 1;
   cache_config.max_entries = 3;
-  batch::PlanCache cache(cache_config);
+  exec::PlanCache cache(cache_config);
   const QrmConfig config = tiny_config();
   const QrmPlanner planner(config);
-  const std::uint64_t key = batch::PlanCache::config_key("qrm", config);
+  const std::uint64_t key = exec::PlanCache::config_key("qrm", config);
 
   for (std::uint64_t seed = 1; seed <= 8; ++seed)
     cache.insert(key, tiny_grid(seed), planner.plan(tiny_grid(seed)));
 
-  const batch::PlanCacheStats stats = cache.stats();
+  const exec::PlanCacheStats stats = cache.stats();
   EXPECT_EQ(stats.entries, 3u);
   EXPECT_EQ(stats.evictions, 5u);
   // Exactly the three newest insertions survive, in spite of the chains.
@@ -206,13 +206,13 @@ TEST(PlanCache, DuplicateInsertUnderCollisionsDoesNotDesyncAccounting) {
   // First-insert-wins must hold inside a chained bucket too: a duplicate
   // insert neither grows entries_ nor queues a second eviction ticket for
   // the same entry (which would make a later eviction pop a live one).
-  batch::PlanCacheConfig cache_config;
+  exec::PlanCacheConfig cache_config;
   cache_config.key_bits = 1;
   cache_config.max_entries = 2;
-  batch::PlanCache cache(cache_config);
+  exec::PlanCache cache(cache_config);
   const QrmConfig config = tiny_config();
   const QrmPlanner planner(config);
-  const std::uint64_t key = batch::PlanCache::config_key("qrm", config);
+  const std::uint64_t key = exec::PlanCache::config_key("qrm", config);
 
   const OccupancyGrid grid = tiny_grid(1);
   const std::shared_ptr<const PlanResult> first = cache.insert(key, grid, planner.plan(grid));
@@ -231,20 +231,20 @@ TEST(PlanCache, DuplicateInsertUnderCollisionsDoesNotDesyncAccounting) {
 }
 
 TEST(PlanCache, RejectsFullWidthKeyMask) {
-  batch::PlanCacheConfig cache_config;
+  exec::PlanCacheConfig cache_config;
   cache_config.key_bits = 64;  // the mask shift would be UB; must be rejected
-  EXPECT_THROW((void)batch::PlanCache(cache_config), PreconditionError);
+  EXPECT_THROW((void)exec::PlanCache(cache_config), PreconditionError);
 }
 
 TEST(PlanCache, ClearResetsEverything) {
   const QrmConfig config = tiny_config();
-  const std::uint64_t key = batch::PlanCache::config_key("qrm", config);
-  batch::PlanCache cache;
+  const std::uint64_t key = exec::PlanCache::config_key("qrm", config);
+  exec::PlanCache cache;
   const OccupancyGrid grid = tiny_grid(1);
   cache.insert(key, grid, QrmPlanner(config).plan(grid));
   (void)cache.find(key, grid);
   cache.clear();
-  const batch::PlanCacheStats stats = cache.stats();
+  const exec::PlanCacheStats stats = cache.stats();
   EXPECT_EQ(stats.entries, 0u);
   EXPECT_EQ(stats.hits, 0u);
   EXPECT_EQ(cache.find(key, grid), nullptr);
@@ -259,17 +259,17 @@ TEST(PlanCache, BatchPlannerFingerprintUnchangedAndHitsOnIdenticalShots) {
 
   batch::BatchConfig config;
   config.plan.target = centered_region(16, 16, 8, 8);
-  config.workers = 2;
+  config.exec.workers = 2;
   config.max_rounds = 4;
 
   const std::uint64_t cold_fingerprint = batch::BatchPlanner(config).run(captured).fingerprint();
 
-  config.plan_cache = std::make_shared<batch::PlanCache>();
+  config.exec.plan_cache = std::make_shared<exec::PlanCache>();
   const std::uint64_t cached_fingerprint =
       batch::BatchPlanner(config).run(captured).fingerprint();
 
   EXPECT_EQ(cached_fingerprint, cold_fingerprint);
-  const batch::PlanCacheStats stats = config.plan_cache->stats();
+  const exec::PlanCacheStats stats = config.exec.plan_cache->stats();
   // All 8 shots plan the identical first-round grid. Hit counts are
   // measurement, not outcome: each of the 2 workers may cold-plan that
   // cell concurrently before either inserts, so at least 8 - workers of
@@ -284,14 +284,14 @@ TEST(PlanCache, SharedAcrossBatchesReusesPlans) {
 
   batch::BatchConfig config;
   config.plan.target = centered_region(16, 16, 8, 8);
-  config.workers = 2;
+  config.exec.workers = 2;
   config.max_rounds = 3;
-  config.plan_cache = std::make_shared<batch::PlanCache>();
+  config.exec.plan_cache = std::make_shared<exec::PlanCache>();
 
   const batch::BatchReport first = batch::BatchPlanner(config).run(captured);
-  const batch::PlanCacheStats after_first = config.plan_cache->stats();
+  const exec::PlanCacheStats after_first = config.exec.plan_cache->stats();
   const batch::BatchReport second = batch::BatchPlanner(config).run(captured);
-  const batch::PlanCacheStats after_second = config.plan_cache->stats();
+  const exec::PlanCacheStats after_second = config.exec.plan_cache->stats();
 
   EXPECT_EQ(first.fingerprint(), second.fingerprint());
   // The second batch replays the same shots against a warm cache: every

@@ -14,7 +14,7 @@
 
 #include "util/assert.hpp"
 #include "batch/batch_planner.hpp"
-#include "batch/plan_cache.hpp"
+#include "exec/plan_cache.hpp"
 #include "core/planner.hpp"
 #include "lattice/grid.hpp"
 #include "lattice/quadrant.hpp"
@@ -241,13 +241,13 @@ TEST(BatchProperty, FiftyRandomSeedsMatchTheSerialLoopExactly) {
     config.grid_width = 16;
     config.fill = 0.65;
     config.shots = kShots;
-    config.workers = 4;
+    config.exec.workers = 4;
     config.master_seed = rng.next_u64();
     config.loss.per_move_loss = 0.02;
     config.loss.background_loss = 0.005;
     config.loss.seed = rng.next_u64();
     config.max_rounds = 6;
-    config.keep_schedules = true;
+    config.exec.keep_schedules = true;
 
     const batch::BatchPlanner planner(config);
     const batch::BatchReport pooled = planner.run();
@@ -293,10 +293,10 @@ TEST(BatchProperty, LosslessShotsReplayOntoTheirFinalGrids) {
   config.grid_width = 14;
   config.fill = 0.6;
   config.shots = 16;
-  config.workers = 4;
+  config.exec.workers = 4;
   config.loss = {.per_move_loss = 0.0, .background_loss = 0.0};
   config.max_rounds = 1;
-  config.keep_schedules = true;
+  config.exec.keep_schedules = true;
   config.master_seed = 0xF1F7;
 
   const batch::BatchReport report = batch::BatchPlanner(config).run();
@@ -311,13 +311,13 @@ TEST(BatchProperty, LosslessShotsReplayOntoTheirFinalGrids) {
 // and stats — across both plan modes. This is the property the whole
 // "fingerprints are cache-invariant" guarantee reduces to.
 TEST(PlanCacheProperty, FiftySeedCacheHitVsColdPlanBitEquality) {
-  batch::PlanCache cache;
+  exec::PlanCache cache;
   for (std::uint64_t seed = 0; seed < 50; ++seed) {
     QrmConfig config;
     config.target = centered_square(16, seed % 2 == 0 ? 8 : 10);
     config.mode = seed % 3 == 0 ? PlanMode::Compact : PlanMode::Balanced;
     const QrmPlanner planner(config);
-    const std::uint64_t key = batch::PlanCache::config_key("qrm", config);
+    const std::uint64_t key = exec::PlanCache::config_key("qrm", config);
     const OccupancyGrid grid = load_random(16, 16, {0.55 + 0.3 * (seed % 5) / 5.0, seed});
 
     const PlanResult cold = planner.plan(grid);
@@ -351,10 +351,11 @@ TEST(ParallelPlanProperty, FiftyRandomSeedsPlanBitEqualAcrossWorkerCounts) {
     config.mode = seed % 2 == 0 ? PlanMode::Balanced : PlanMode::Compact;
     const PlanResult sequential = QrmPlanner(config).plan(grid);
 
-    config.intra_plan_workers = 1 + rng.uniform_below(8);
-    EXPECT_EQ(QrmPlanner(config).plan(grid), sequential)
+    PlanParallelism parallelism;
+    parallelism.workers = 1 + rng.uniform_below(8);
+    EXPECT_EQ(QrmPlanner(config, parallelism).plan(grid), sequential)
         << "seed " << seed << ": " << size << "x" << size << " fill " << fill << " "
-        << to_cstring(config.mode) << " workers " << config.intra_plan_workers;
+        << to_cstring(config.mode) << " workers " << parallelism.workers;
   }
 }
 
@@ -382,13 +383,13 @@ TEST(ShardProperty, AnyShardAndWorkerCountMergesToIdenticalReportBytes) {
   };
 
   scenario::CampaignConfig sequential;
-  sequential.workers = 1;
+  sequential.exec.workers = 1;
   const std::string expected = report_bytes(scenario::CampaignRunner(sequential).run(specs));
 
   for (std::uint32_t shards = 1; shards <= 6; ++shards) {
     for (const std::uint32_t workers : {1u, 2u, 4u}) {
       scenario::CampaignConfig config;
-      config.workers = workers;
+      config.exec.workers = workers;
       config.shards = shards;
       EXPECT_EQ(report_bytes(scenario::CampaignRunner(config).run(specs)), expected)
           << shards << " shards, " << workers << " workers";

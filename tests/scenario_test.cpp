@@ -332,7 +332,7 @@ TEST(CampaignRunner, MatchesAHandBuiltBatchPlannerBitForBit) {
   by_hand.grid_height = by_hand.grid_width = 16;
   by_hand.fill = 0.7;
   by_hand.shots = 6;
-  by_hand.workers = 2;
+  by_hand.exec.workers = 2;
   by_hand.master_seed = spec.seed;
   by_hand.loss.per_move_loss = spec.per_move_loss;
   by_hand.loss.background_loss = spec.background_loss;
@@ -340,7 +340,7 @@ TEST(CampaignRunner, MatchesAHandBuiltBatchPlannerBitForBit) {
   const std::uint64_t expected = batch::BatchPlanner(by_hand).run().fingerprint();
 
   scenario::CampaignConfig config;
-  config.workers = 2;
+  config.exec.workers = 2;
   const scenario::ScenarioOutcome outcome = scenario::CampaignRunner(config).run_one(spec);
   EXPECT_EQ(outcome.batch.fingerprint(), expected);
 }
@@ -358,9 +358,9 @@ TEST(CampaignRunner, FingerprintsAreWorkerCountIndependent) {
   }
 
   scenario::CampaignConfig serial;
-  serial.workers = 1;
+  serial.exec.workers = 1;
   scenario::CampaignConfig pooled;
-  pooled.workers = 8;
+  pooled.exec.workers = 8;
   const scenario::CampaignReport a = scenario::CampaignRunner(serial).run(specs);
   const scenario::CampaignReport b = scenario::CampaignRunner(pooled).run(specs);
 
@@ -388,7 +388,7 @@ TEST(CampaignRunner, FilterSelectsAndEmptyFilterFails) {
   specs = {first, second};
 
   scenario::CampaignConfig config;
-  config.workers = 2;
+  config.exec.workers = 2;
   config.filter = "smoke";
   const scenario::CampaignReport report = scenario::CampaignRunner(config).run(specs);
   ASSERT_EQ(report.scenarios.size(), 1u);
@@ -407,7 +407,7 @@ TEST(CampaignRunner, ArchitectureModelSeparatesTheTwoControlPaths) {
   fpga.architecture = rt::Architecture::FpgaIntegrated;
 
   scenario::CampaignConfig config;
-  config.workers = 2;
+  config.exec.workers = 2;
   const scenario::CampaignRunner runner(config);
   const scenario::ScenarioOutcome host_outcome = runner.run_one(host);
   const scenario::ScenarioOutcome fpga_outcome = runner.run_one(fpga);
@@ -426,13 +426,13 @@ TEST(CampaignRunner, ImagedDetectionFlowsIntoBatchConfigAndOutcome) {
   spec.imaged_detection = true;
   spec.photons_per_atom = 6.0;  // deliberately marginal: errors are expected
 
-  const batch::BatchConfig batch_config = scenario::to_batch_config(spec, 2);
+  const batch::BatchConfig batch_config = scenario::to_batch_config(spec);
   EXPECT_TRUE(batch_config.imaged_detection);
   EXPECT_DOUBLE_EQ(batch_config.imaging.photons_per_atom, 6.0);
   EXPECT_DOUBLE_EQ(batch_config.detection.threshold_photons, -1.0);
 
   scenario::CampaignConfig config;
-  config.workers = 2;
+  config.exec.workers = 2;
   const scenario::CampaignRunner runner(config);
   const scenario::ScenarioOutcome outcome = runner.run_one(spec);
   std::int64_t errors = 0;
@@ -452,7 +452,7 @@ TEST(CampaignRunner, ImagedDetectionFlowsIntoBatchConfigAndOutcome) {
 
 TEST(CampaignReport, CsvAndJsonWritersEmitEveryScenario) {
   scenario::CampaignConfig config;
-  config.workers = 2;
+  config.exec.workers = 2;
   ScenarioSpec spec = tiny_spec();
   spec.tags = {"smoke"};
   const scenario::CampaignReport report = scenario::CampaignRunner(config).run({spec});

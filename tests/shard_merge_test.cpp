@@ -79,7 +79,7 @@ TEST(ShardOf, IsAStableNameHashBelowTheShardCount) {
 TEST(ShardedCampaign, RunShardPartitionsTheFilteredMatrix) {
   const std::vector<ScenarioSpec> specs = tiny_matrix();
   CampaignConfig config;
-  config.workers = 2;
+  config.exec.workers = 2;
   for (const std::uint32_t shards : {2u, 3u, 5u}) {
     config.shards = shards;
     std::set<std::size_t> seen_indices;
@@ -101,7 +101,7 @@ TEST(ShardedCampaign, RunShardPartitionsTheFilteredMatrix) {
 TEST(ShardedCampaign, MergedRunMatchesSequentialForAnyShardsAndWorkers) {
   const std::vector<ScenarioSpec> specs = tiny_matrix();
   CampaignConfig sequential_config;
-  sequential_config.workers = 1;
+  sequential_config.exec.workers = 1;
   const CampaignReport sequential = CampaignRunner(sequential_config).run(specs);
   const std::string sequential_csv = csv_text(sequential);
   const std::string sequential_json = json_text(sequential);
@@ -109,7 +109,7 @@ TEST(ShardedCampaign, MergedRunMatchesSequentialForAnyShardsAndWorkers) {
   for (const std::uint32_t shards : {2u, 3u, 5u}) {
     for (const std::uint32_t workers : {1u, 3u}) {
       CampaignConfig config;
-      config.workers = workers;
+      config.exec.workers = workers;
       config.shards = shards;
       const CampaignReport merged = CampaignRunner(config).run(specs);
       ASSERT_EQ(merged.scenarios.size(), sequential.scenarios.size());
@@ -131,7 +131,7 @@ TEST(ShardedCampaign, RunShardRejectsAFilterMatchingNothingAnywhere) {
   // An empty shard is fine, but a typo'd filter must not let a whole fleet
   // of shard processes go green with zero scenarios run.
   CampaignConfig config;
-  config.workers = 2;
+  config.exec.workers = 2;
   config.shards = 3;
   config.shard_index = 0;
   config.filter = "no-such-tag";
@@ -141,7 +141,7 @@ TEST(ShardedCampaign, RunShardRejectsAFilterMatchingNothingAnywhere) {
 TEST(ShardedCampaign, EmptyShardIsValidAndTextMergeReassemblesSequential) {
   const std::vector<ScenarioSpec> specs = tiny_matrix();
   CampaignConfig config;
-  config.workers = 2;
+  config.exec.workers = 2;
   // More shards than scenarios guarantees at least one empty shard.
   config.shards = 8;
 
@@ -158,7 +158,7 @@ TEST(ShardedCampaign, EmptyShardIsValidAndTextMergeReassemblesSequential) {
   ASSERT_TRUE(saw_empty);
 
   CampaignConfig sequential_config;
-  sequential_config.workers = 2;
+  sequential_config.exec.workers = 2;
   const CampaignReport sequential = CampaignRunner(sequential_config).run(specs);
   EXPECT_EQ(scenario::merge_csv_reports(shard_csvs), csv_text(sequential));
   EXPECT_EQ(scenario::merge_json_reports(shard_jsons), json_text(sequential));
@@ -170,7 +170,7 @@ TEST(ReportMerge, FuzzRandomShardSplitsRoundTrip) {
   // must reassemble byte-identically. Splits are structural (no replanning)
   // so 24 fuzz rounds stay cheap.
   CampaignConfig config;
-  config.workers = 2;
+  config.exec.workers = 2;
   const CampaignReport sequential = CampaignRunner(config).run(tiny_matrix());
   const std::string sequential_csv = csv_text(sequential);
   const std::string sequential_json = json_text(sequential);
@@ -195,7 +195,7 @@ TEST(ReportMerge, FuzzRandomShardSplitsRoundTrip) {
 
 TEST(ReportMerge, RejectsMalformedShardSets) {
   CampaignConfig config;
-  config.workers = 2;
+  config.exec.workers = 2;
   const std::vector<ScenarioSpec> specs = tiny_matrix();
   const CampaignReport sequential = CampaignRunner(config).run(specs);
   const std::string csv = csv_text(sequential);
@@ -236,7 +236,7 @@ TEST(ReportMerge, RejectsMalformedShardSets) {
 
 TEST(MergeReports, StructLevelMergeChecksCoverage) {
   CampaignConfig config;
-  config.workers = 2;
+  config.exec.workers = 2;
   const std::vector<ScenarioSpec> specs = tiny_matrix();
   const CampaignReport sequential = CampaignRunner(config).run(specs);
 
