@@ -11,6 +11,7 @@
 #include "core/planner.hpp"
 #include "exec/plan_cache.hpp"
 #include "loading/loader.hpp"
+#include "moves/dead_channels.hpp"
 #include "runtime/control_system.hpp"
 #include "util/assert.hpp"
 #include "util/fnv.hpp"
@@ -117,6 +118,10 @@ BatchPlanner::BatchPlanner(BatchConfig config) : config_(std::move(config)) {
   QRM_EXPECTS(config_.max_rounds > 0);
   QRM_EXPECTS(config_.loss.per_move_loss >= 0.0 && config_.loss.per_move_loss <= 1.0);
   QRM_EXPECTS(config_.loss.background_loss >= 0.0 && config_.loss.background_loss <= 1.0);
+  QRM_EXPECTS(config_.loss.burst_loss >= 0.0 && config_.loss.burst_loss <= 1.0);
+  QRM_EXPECTS(config_.loss.burst_length >= 1);
+  QRM_EXPECTS(config_.drift.amplitude >= 0.0 && config_.drift.amplitude <= 1.0);
+  QRM_EXPECTS(config_.drift.period >= 1);
   // Fail on unknown algorithm names at construction, not mid-batch.
   (void)baselines::make_algorithm(config_.algorithm);
 }
@@ -146,10 +151,22 @@ ShotResult BatchPlanner::run_shot_impl(std::uint32_t shot, const OccupancyGrid* 
   if (config_.imaged_detection) {
     ImagingConfig imaging = config_.imaging;
     imaging.seed = exec::imaging_seed(result.seed);
+    DetectionConfig detection = config_.detection;
+    if (config_.drift.shape != DriftShape::None) {
+      // Calibration drift, keyed only by the shot index (no RNG): photons
+      // drift with this shot's factor; a manual threshold drifts half a
+      // period out of phase (it was calibrated against a past photon rate),
+      // so the two never cancel. The automatic threshold re-fits per frame
+      // and needs no adjustment.
+      imaging.photons_per_atom *= config_.drift.factor(shot);
+      if (detection.threshold_photons >= 0.0) {
+        detection.threshold_photons *=
+            config_.drift.factor(shot + config_.drift.period / 2);
+      }
+    }
     Stopwatch watch;
     const FluorescenceImage frame = render_image(truth, imaging);
-    result.planned_input =
-        detect_atoms(frame, truth.height(), truth.width(), config_.detection);
+    result.planned_input = detect_atoms(frame, truth.height(), truth.width(), detection);
     result.detect_us = watch.elapsed_microseconds();
     result.detection_errors = compare_detection(truth, result.planned_input);
   } else {
@@ -202,9 +219,14 @@ ShotResult BatchPlanner::run_shot_impl(std::uint32_t shot, const OccupancyGrid* 
   } else {
     plan_round = [algorithm = std::shared_ptr<baselines::RearrangementAlgorithm>(
                       baselines::make_algorithm(config_.algorithm)),
-                  target = config_.plan.target, &plan_us](const OccupancyGrid& state) {
+                  target = config_.plan.target, dead = config_.plan.dead_channels,
+                  &plan_us](const OccupancyGrid& state) {
       Stopwatch watch;
-      PlanResult plan = algorithm->plan(state, target);
+      // Baselines share the planner-side dead-channel contract: plan on the
+      // masked view so frozen atoms are never scheduled. (The lossy loop
+      // additionally refuses dead pickups/dropoffs, authoritatively.)
+      PlanResult plan = dead.empty() ? algorithm->plan(state, target)
+                                     : algorithm->plan(mask_dead_lines(state, dead), target);
       plan_us += watch.elapsed_microseconds();
       return plan;
     };

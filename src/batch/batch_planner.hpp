@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "detection/calibration.hpp"
 #include "detection/detector.hpp"
 #include "detection/image.hpp"
 #include "exec/policy.hpp"
@@ -51,6 +52,13 @@ struct BatchConfig {
   bool imaged_detection = false;
   ImagingConfig imaging;
   DetectionConfig detection;
+  /// Per-shot calibration drift (only meaningful with imaged_detection):
+  /// shot i images with photons_per_atom * drift.factor(i), and a manual
+  /// detection threshold drifts by factor(i + period/2) — half a period out
+  /// of phase, the way a threshold calibrated against a *past* photon rate
+  /// mis-tracks the current one, so the two drifts never cancel. Keyed only
+  /// by the shot index: no RNG stream is consumed, worker invariance holds.
+  CalibrationDrift drift;
 
   rt::LossModel loss;              ///< master loss model; shots derive streams
   std::uint32_t max_rounds = 10;   ///< lossy-loop round budget per shot

@@ -8,6 +8,7 @@
 
 #include "lattice/grid.hpp"
 #include "lattice/region.hpp"
+#include "moves/dead_channels.hpp"
 #include "moves/realizer.hpp"
 #include "moves/schedule.hpp"
 
@@ -68,6 +69,12 @@ struct QrmConfig {
   /// never shift ("prevent unnecessary shifts far from the center").
   /// Negative disables gating.
   std::int32_t sen_limit = -1;
+  /// Dead AOD channels the plan must route around: planners mask these
+  /// lines out of their input (frozen atoms are invisible), and the
+  /// realizer hops shift commands across them (moves/dead_channels.hpp).
+  /// A planner axis like every field above — it changes plan output, so it
+  /// enters PlanCache::config_key.
+  DeadChannelMask dead_channels;
 };
 
 /// How one plan's quadrant work fans out — mechanism, not identity. Every

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "lattice/quadrant.hpp"
+#include "moves/dead_channels.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qrm {
@@ -11,8 +12,19 @@ namespace qrm {
 DeltaReplanner::DeltaReplanner(QrmConfig config, Options options, PlanParallelism parallelism)
     : config_(std::move(config)), options_(options), parallelism_(std::move(parallelism)) {}
 
-PlanResult DeltaReplanner::plan(const OccupancyGrid& current) {
+PlanResult DeltaReplanner::plan(const OccupancyGrid& raw_current) {
   ++stats_.plans;
+
+  // Dead channels: mask once at the entry, exactly as QrmPlanner::plan does,
+  // so prev_input_ / diffs / drives all live in the masked world and delta
+  // stays bit-identical to scratch under any mask.
+  const OccupancyGrid* current_ptr = &raw_current;
+  OccupancyGrid masked;
+  if (!config_.dead_channels.empty()) {
+    masked = mask_dead_lines(raw_current, config_.dead_channels);
+    current_ptr = &masked;
+  }
+  const OccupancyGrid& current = *current_ptr;
 
   PlanParallelism parallelism = parallelism_;
   if (parallelism.workers > 0 && parallelism.pool == nullptr) {

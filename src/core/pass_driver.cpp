@@ -152,7 +152,8 @@ void PassDriver::apply(QuadrantPass pass) {
 
   PassInfo info;
   info.axis = pass.axis;
-  const RealizeOptions realize_options{config_.aod_legalize};
+  RealizeOptions realize_options{config_.aod_legalize};
+  if (!config_.dead_channels.empty()) realize_options.dead = &config_.dead_channels;
 
   // Lower each quadrant's local assignments to global coordinates first.
   // The four conversions are pure and data-independent, so they fan out on

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/pass_driver.hpp"
+#include "moves/dead_channels.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qrm {
@@ -16,7 +17,15 @@ PlanResult QrmPlanner::plan(const OccupancyGrid& initial) const {
     // instead, so nested parallelism never oversubscribes.
     parallelism.pool = std::make_shared<ThreadPool>(parallelism.workers);
   }
-  PassDriver driver(initial, config_, std::move(parallelism));
+  // Dead channels: plan against the masked view, so frozen atoms (which can
+  // never be picked up) are invisible to every pass.
+  const OccupancyGrid* input = &initial;
+  OccupancyGrid masked;
+  if (!config_.dead_channels.empty()) {
+    masked = mask_dead_lines(initial, config_.dead_channels);
+    input = &masked;
+  }
+  PassDriver driver(*input, config_, std::move(parallelism));
   while (auto pass = driver.next()) driver.apply(std::move(*pass));
   return driver.take_result();
 }

@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numbers>
 
 #include "util/assert.hpp"
 
 namespace qrm {
+
+double CalibrationDrift::factor(std::uint64_t shot_index) const noexcept {
+  if (shape == DriftShape::None || amplitude == 0.0 || period == 0) return 1.0;
+  const double phase =
+      static_cast<double>(shot_index % period) / static_cast<double>(period);
+  if (shape == DriftShape::Ramp) return 1.0 + amplitude * phase;
+  return 1.0 + amplitude * std::sin(2.0 * std::numbers::pi * phase);
+}
 
 namespace {
 
@@ -44,7 +53,7 @@ std::vector<ThresholdPoint> threshold_sweep(const FluorescenceImage& image,
     std::size_t index = 0;
     for (std::int32_t r = 0; r < truth.height(); ++r) {
       for (std::int32_t c = 0; c < truth.width(); ++c, ++index) {
-        const bool detected = integrals[index] >= p.threshold;
+        const bool detected = meets_threshold(integrals[index], p.threshold);
         const bool real = truth.occupied({r, c});
         if (detected && !real) ++p.false_positives;
         if (!detected && real) ++p.false_negatives;

@@ -38,7 +38,7 @@ double two_class_threshold(const std::vector<double>& values) {
     std::size_t dark_n = 0;
     std::size_t bright_n = 0;
     for (const double v : values) {
-      if (v < threshold) {
+      if (!meets_threshold(v, threshold)) {
         dark_sum += v;
         ++dark_n;
       } else {
@@ -66,19 +66,23 @@ double auto_threshold(const FluorescenceImage& image, std::int32_t grid_height,
 OccupancyGrid detect_atoms(const FluorescenceImage& image, std::int32_t grid_height,
                            std::int32_t grid_width, const DetectionConfig& config) {
   QRM_EXPECTS(grid_height > 0 && grid_width > 0 && config.pixels_per_site > 0);
+  QRM_EXPECTS_MSG(std::isfinite(config.threshold_bias) && config.threshold_bias > 0.0,
+                  "threshold_bias must be finite and positive");
   QRM_EXPECTS_MSG(image.height() >= grid_height * config.pixels_per_site &&
                       image.width() >= grid_width * config.pixels_per_site,
                   "image too small for the requested grid geometry");
   const std::vector<double> integrals =
       site_integrals(image, grid_height, grid_width, config.pixels_per_site);
   const double threshold =
-      config.threshold_photons >= 0.0 ? config.threshold_photons : two_class_threshold(integrals);
+      (config.threshold_photons >= 0.0 ? config.threshold_photons
+                                       : two_class_threshold(integrals)) *
+      config.threshold_bias;
 
   OccupancyGrid grid(grid_height, grid_width);
   std::size_t index = 0;
   for (std::int32_t r = 0; r < grid_height; ++r)
     for (std::int32_t c = 0; c < grid_width; ++c, ++index)
-      if (integrals[index] >= threshold) grid.set({r, c});
+      if (meets_threshold(integrals[index], threshold)) grid.set({r, c});
   return grid;
 }
 

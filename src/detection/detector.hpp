@@ -15,7 +15,22 @@ struct DetectionConfig {
   /// automatic two-class (k-means style) threshold.
   double threshold_photons = -1.0;
   std::int32_t pixels_per_site = 5;  ///< must match the imaging geometry
+  /// Miscalibration multiplier on the *applied* threshold (hostile-physics
+  /// axis): the detector compares integrals against threshold *
+  /// threshold_bias, whether the threshold is manual or automatic. The
+  /// default 1.0 is a bit-exact identity (x * 1.0 == x), so well-calibrated
+  /// configs are untouched. Must be finite and > 0.
+  double threshold_bias = 1.0;
 };
+
+/// The detector's boundary predicate, pinned in one place: a site whose
+/// photon integral equals the applied threshold EXACTLY counts as occupied
+/// (>=). Every thresholding call site — detect_atoms, threshold_sweep, and
+/// the two-class iteration's bright/dark split — routes through this
+/// predicate so the tie behaviour cannot drift apart between them.
+[[nodiscard]] constexpr bool meets_threshold(double integral, double threshold) noexcept {
+  return integral >= threshold;
+}
 
 /// Integrate each site's pixel block and threshold it. The automatic
 /// threshold iterates the two-class midpoint (Otsu-like) until fixed point,

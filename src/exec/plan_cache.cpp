@@ -41,6 +41,14 @@ std::uint64_t PlanCache::config_key(const std::string& algorithm,
   fnv::mix_u64(hash, plan.merge_quadrants ? 1 : 0);
   fnv::mix_u64(hash, plan.aod_legalize ? 1 : 0);
   fnv::mix_u64(hash, static_cast<std::uint64_t>(plan.sen_limit));
+  // Dead channels change plan output (masked input + hop realization), so
+  // two configs differing only in the mask must never share cache cells.
+  fnv::mix_u64(hash, static_cast<std::uint64_t>(plan.dead_channels.rows.size()));
+  for (const std::int32_t row : plan.dead_channels.rows)
+    fnv::mix_u64(hash, static_cast<std::uint64_t>(row));
+  fnv::mix_u64(hash, static_cast<std::uint64_t>(plan.dead_channels.cols.size()));
+  for (const std::int32_t col : plan.dead_channels.cols)
+    fnv::mix_u64(hash, static_cast<std::uint64_t>(col));
   return hash;
 }
 

@@ -87,6 +87,8 @@ OccupancyGrid load_pattern(std::int32_t height, std::int32_t width, Pattern patt
         case Pattern::RowStripes: occ = r % 2 == 0; break;
         case Pattern::ColStripes: occ = c % 2 == 0; break;
         case Pattern::Border: occ = r == 0 || c == 0 || r == height - 1 || c == width - 1; break;
+        case Pattern::CornerBlock: occ = r < (height + 1) / 2 && c < (width + 1) / 2; break;
+        case Pattern::HalfGrid: occ = r < (height + 1) / 2; break;
       }
       if (occ) grid.set({r, c});
     }
@@ -105,9 +107,20 @@ OccupancyGrid load_gradient(std::int32_t height, std::int32_t width,
   for (std::int32_t r = 0; r < height; ++r) {
     for (std::int32_t c = 0; c < width; ++c) {
       const std::int32_t pos = config.axis == GradientAxis::Rows ? r : c;
+      // Endpoints take the configured fills *exactly*: the interpolated form
+      // start + (end - start) * 1.0 can land one ulp off end_fill, which
+      // turns a nominal 1.0 (always load) or 0.0 (never load) endpoint into
+      // a ~1e-16 chance of the opposite — under/over-filling the edge line.
       // A one-line/one-trap span has no ramp to interpolate; use start_fill.
-      const double t = span > 1 ? static_cast<double>(pos) / (span - 1) : 0.0;
-      const double p = config.start_fill + (config.end_fill - config.start_fill) * t;
+      double p;
+      if (pos == 0 || span <= 1) {
+        p = config.start_fill;
+      } else if (pos == span - 1) {
+        p = config.end_fill;
+      } else {
+        const double t = static_cast<double>(pos) / (span - 1);
+        p = config.start_fill + (config.end_fill - config.start_fill) * t;
+      }
       if (rng.bernoulli(p)) grid.set({r, c});
     }
   }

@@ -75,6 +75,9 @@ enum class Pattern {
   RowStripes,    ///< even rows full, odd rows empty — worst case for column balance
   ColStripes,    ///< even columns full — worst case for row compaction
   Border,        ///< only the outermost ring occupied — maximal travel distance
+  CornerBlock,   ///< top-left ceil(H/2) x ceil(W/2) block full — every atom in one
+                 ///< quadrant, the worst case for cross-quadrant balance passes
+  HalfGrid,      ///< top ceil(H/2) rows full — maximal one-directional rebalance
 };
 [[nodiscard]] OccupancyGrid load_pattern(std::int32_t height, std::int32_t width, Pattern pattern);
 

@@ -1,0 +1,28 @@
+#include "moves/dead_channels.hpp"
+
+#include <algorithm>
+
+namespace qrm {
+
+bool DeadChannelMask::row_dead(std::int32_t row) const noexcept {
+  return std::binary_search(rows.begin(), rows.end(), row);
+}
+
+bool DeadChannelMask::col_dead(std::int32_t col) const noexcept {
+  return std::binary_search(cols.begin(), cols.end(), col);
+}
+
+OccupancyGrid mask_dead_lines(const OccupancyGrid& grid, const DeadChannelMask& mask) {
+  OccupancyGrid out = grid;
+  for (const std::int32_t row : mask.rows) {
+    if (row < 0 || row >= out.height()) continue;
+    for (std::int32_t col = 0; col < out.width(); ++col) out.clear({row, col});
+  }
+  for (const std::int32_t col : mask.cols) {
+    if (col < 0 || col >= out.width()) continue;
+    for (std::int32_t row = 0; row < out.height(); ++row) out.clear({row, col});
+  }
+  return out;
+}
+
+}  // namespace qrm

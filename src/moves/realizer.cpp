@@ -84,6 +84,92 @@ void emit_round(OccupancyGrid& grid, std::vector<Coord> sites, Direction dir,
   }
 }
 
+/// Emit one multi-step hop round (`sites` move `steps` cells in `dir`) and
+/// advance the grid. Dead-channel mode never carries a major mirror:
+/// legalize only accepts one for unit steps, and hop rounds are rare enough
+/// that the per-round transpose it avoided does not matter.
+void emit_hop_round(OccupancyGrid& grid, std::vector<Coord> sites, Direction dir,
+                    std::int32_t steps, Schedule& schedule, const RealizeOptions& options) {
+  if (sites.empty()) return;
+  if (options.aod_legalize) {
+    for (auto& sub : legalize(grid, sites, dir, steps, nullptr)) {
+      apply_move_unchecked(grid, sub);
+      schedule.push_back(std::move(sub));
+    }
+  } else {
+    ParallelMove move{dir, steps, std::move(sites)};
+    apply_move_unchecked(grid, move);
+    schedule.push_back(std::move(move));
+  }
+}
+
+/// Run all rounds of one phase with dead perpendicular lines to hop across.
+/// Each round every active mover advances to the next live position (one
+/// step plus the length of the dead run it crosses, capped at its remaining
+/// displacement — the cap only binds when the assigned target itself is
+/// dead, which upper passes may produce mid-plan; the executor freezes such
+/// atoms and the next loop round replans them). Movers are walked
+/// front-first, so a hop's landing cell is always vacated before it is
+/// reached: cells inside a dead run hold no atoms (the grid is masked), and
+/// the live landing cell either belonged to a front mover that has already
+/// moved this round or was free at validation time (the order-consistency
+/// sweep forbids fixed atoms between a mover and its target).
+std::size_t run_phase_dead(OccupancyGrid& grid, Axis axis, std::vector<Mover>& movers,
+                           bool toward_origin, Schedule& schedule,
+                           const RealizeOptions& options,
+                           const std::vector<std::int32_t>& dead_positions) {
+  const Direction dir = axis == Axis::Rows
+                            ? (toward_origin ? Direction::West : Direction::East)
+                            : (toward_origin ? Direction::North : Direction::South);
+  const auto remaining = [toward_origin](const Mover& m) {
+    return toward_origin ? m.pos - m.target : m.target - m.pos;
+  };
+  const auto pos_dead = [&dead_positions](std::int32_t p) {
+    return std::binary_search(dead_positions.begin(), dead_positions.end(), p);
+  };
+  std::vector<Mover*> active;
+  active.reserve(movers.size());
+  for (auto& m : movers) {
+    if (remaining(m) > 0) active.push_back(&m);
+  }
+
+  const std::int32_t delta = toward_origin ? -1 : +1;
+  std::size_t rounds = 0;
+  std::vector<std::int32_t> steps;
+  while (!active.empty()) {
+    // Front-first walk order, re-established every round (variable steps
+    // let a rear mover close a gap, so a single phase-start sort would go
+    // stale). Ties across lines break by line for determinism.
+    std::sort(active.begin(), active.end(), [&](const Mover* a, const Mover* b) {
+      if (a->pos != b->pos) return toward_origin ? a->pos < b->pos : a->pos > b->pos;
+      return a->line < b->line;
+    });
+    steps.assign(active.size(), 1);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const Mover& m = *active[i];
+      while (steps[i] < remaining(m) && pos_dead(m.pos + delta * steps[i])) ++steps[i];
+    }
+    // Emit runs of equal step counts as one command each; a run is
+    // internally collision-free (order-preserving equal shifts) and its
+    // swept cells are dead, hence empty.
+    std::size_t begin = 0;
+    while (begin < active.size()) {
+      std::size_t end = begin;
+      while (end < active.size() && steps[end] == steps[begin]) ++end;
+      std::vector<Coord> sites;
+      sites.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i)
+        sites.push_back(to_coord(axis, active[i]->line, active[i]->pos));
+      emit_hop_round(grid, std::move(sites), dir, steps[begin], schedule, options);
+      for (std::size_t i = begin; i < end; ++i) active[i]->pos += delta * steps[begin];
+      begin = end;
+    }
+    std::erase_if(active, [&remaining](Mover* m) { return remaining(*m) == 0; });
+    ++rounds;
+  }
+  return rounds;
+}
+
 /// Run all rounds of one phase. `toward_origin` selects atoms that must
 /// decrease their position (motion W/N); otherwise increase (E/S).
 ///
@@ -140,21 +226,38 @@ RealizeResult realize_assignments(OccupancyGrid& grid, Axis axis,
 
   RealizeResult result;
   result.atoms_moved = movers.size();
-  // All rounds of both phases move along `axis`, so one major-oriented copy
-  // of the grid (transposed for row moves, plain for column moves) serves
-  // every legalize call; legalize advances it move by move, replacing the
-  // O(area) transpose it would otherwise pay per unit round.
-  OccupancyGrid major_mirror;
-  OccupancyGrid* mirror_ptr = nullptr;
-  if (options.aod_legalize && !movers.empty()) {
-    major_mirror = axis == Axis::Rows ? grid.flipped(Flip::Transpose) : grid;
-    mirror_ptr = &major_mirror;
+  // Dead perpendicular lines along this axis force the hop path: positions
+  // are column indices for row motion (so dead *columns* interrupt the
+  // line) and row indices for column motion.
+  const std::vector<std::int32_t>* dead_positions = nullptr;
+  if (options.dead != nullptr) {
+    const auto& perpendicular = axis == Axis::Rows ? options.dead->cols : options.dead->rows;
+    if (!perpendicular.empty()) dead_positions = &perpendicular;
   }
-  // Toward-origin movers are provably never blocked by fixed atoms, arrived
-  // atoms, or away-movers (order preservation forbids all three), so the
-  // phase completes in max|displacement| rounds; the away phase mirrors it.
-  result.rounds_toward_origin = run_phase(grid, axis, movers, true, schedule, options, mirror_ptr);
-  result.rounds_away = run_phase(grid, axis, movers, false, schedule, options, mirror_ptr);
+  if (dead_positions != nullptr) {
+    result.rounds_toward_origin =
+        run_phase_dead(grid, axis, movers, true, schedule, options, *dead_positions);
+    result.rounds_away =
+        run_phase_dead(grid, axis, movers, false, schedule, options, *dead_positions);
+  } else {
+    // All rounds of both phases move along `axis`, so one major-oriented
+    // copy of the grid (transposed for row moves, plain for column moves)
+    // serves every legalize call; legalize advances it move by move,
+    // replacing the O(area) transpose it would otherwise pay per unit round.
+    OccupancyGrid major_mirror;
+    OccupancyGrid* mirror_ptr = nullptr;
+    if (options.aod_legalize && !movers.empty()) {
+      major_mirror = axis == Axis::Rows ? grid.flipped(Flip::Transpose) : grid;
+      mirror_ptr = &major_mirror;
+    }
+    // Toward-origin movers are provably never blocked by fixed atoms,
+    // arrived atoms, or away-movers (order preservation forbids all three),
+    // so the phase completes in max|displacement| rounds; the away phase
+    // mirrors it.
+    result.rounds_toward_origin =
+        run_phase(grid, axis, movers, true, schedule, options, mirror_ptr);
+    result.rounds_away = run_phase(grid, axis, movers, false, schedule, options, mirror_ptr);
+  }
 
   for (const auto& m : movers) {
     QRM_ENSURES_MSG(m.pos == m.target, "realizer failed to deliver an atom");

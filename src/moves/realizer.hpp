@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "lattice/grid.hpp"
+#include "moves/dead_channels.hpp"
 #include "moves/schedule.hpp"
 
 namespace qrm {
@@ -42,6 +43,12 @@ struct RealizeOptions {
   /// When false each round is emitted as one ParallelMove (useful to study
   /// the idealised lower bound on command count).
   bool aod_legalize = true;
+  /// Dead AOD channels to route around (nullable; empty mask behaves like
+  /// null). Positions on a dead perpendicular line cannot host an atom, so
+  /// rounds crossing one are emitted as multi-step hops that land on the
+  /// next live position. The grid must already be masked (no atoms on dead
+  /// lines) — planners guarantee this via mask_dead_lines.
+  const DeadChannelMask* dead = nullptr;
 };
 
 struct RealizeResult {

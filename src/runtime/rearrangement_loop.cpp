@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/planner.hpp"
+#include "moves/dead_channels.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -14,20 +15,30 @@ namespace {
 /// Apply one planned move to a lossy world: sites whose atoms were already
 /// lost simply don't move; each transported atom may be lost on arrival.
 /// Atoms are moved front-first so surviving lockstep chains stay valid.
+/// Sites on dead channels are skipped before any RNG draw: a dead channel
+/// can neither pick an atom up (dead source — the atom is frozen in place)
+/// nor drop one off (dead destination), and skipping deterministically
+/// keeps delta-vs-scratch and worker-count invariance intact.
 std::int64_t apply_lossy_move(OccupancyGrid& state, const ParallelMove& move, Rng& rng,
-                              double per_move_loss) {
+                              double per_move_loss, const DeadChannelMask& dead) {
   const std::vector<Coord> sites = lossy_move_order(move);
   std::int64_t lost = 0;
   for (const Coord& s : sites) {
     if (!state.occupied(s)) continue;  // atom vanished before this command
     const Coord dest = moved(s, move.dir, move.steps);
     if (!state.in_bounds(dest)) continue;
+    if (!dead.empty() && (dead.site_dead(s) || dead.site_dead(dest))) continue;
     // Path check against the *current* lossy world; a blocked atom stays
-    // put (the next round's plan will handle it).
+    // put (the next round's plan will handle it). Occupied cells on dead
+    // lines do NOT block: a mover can never stop there (the hop legalizer
+    // steps over dead positions), so the occupant is an atom frozen in a
+    // static trap, which the transiting tweezer passes across — the same
+    // transparency the planner's masked grid assumes. Treating it as an
+    // obstacle would livelock the loop on a plan it can never execute.
     bool clear = true;
     for (std::int32_t k = 1; k <= move.steps && clear; ++k) {
       const Coord cell = moved(s, move.dir, k);
-      if (state.occupied(cell)) clear = false;
+      if (state.occupied(cell) && !dead.site_dead(cell)) clear = false;
     }
     if (!clear) continue;
     state.clear(s);
@@ -50,6 +61,22 @@ std::int64_t apply_background_loss(OccupancyGrid& state, Rng& rng, double p) {
     }
   }
   return lost;
+}
+
+/// Correlated loss burst: with probability `p` (one coin per round), kill
+/// up to `length` consecutive trapped atoms in scan order, the start drawn
+/// uniformly. Disabled bursts (p <= 0, the default) draw zero RNG values,
+/// so pre-existing loss streams are bit-for-bit unchanged.
+std::int64_t apply_burst_loss(OccupancyGrid& state, Rng& rng, double p, std::int32_t length) {
+  if (p <= 0.0 || length <= 0) return 0;
+  if (!rng.bernoulli(p)) return 0;
+  const std::vector<Coord> atoms = state.atom_positions();
+  if (atoms.empty()) return 0;
+  const std::size_t start =
+      static_cast<std::size_t>(rng.uniform_below(static_cast<std::uint64_t>(atoms.size())));
+  const std::size_t count = std::min(static_cast<std::size_t>(length), atoms.size());
+  for (std::size_t i = 0; i < count; ++i) state.clear(atoms[(start + i) % atoms.size()]);
+  return static_cast<std::int64_t>(count);
 }
 
 }  // namespace
@@ -95,6 +122,7 @@ LoopReport run_rearrangement_loop(const OccupancyGrid& initial, const LoopConfig
   QRM_EXPECTS(config.max_rounds > 0);
   QRM_EXPECTS(config.loss.per_move_loss >= 0.0 && config.loss.per_move_loss <= 1.0);
   QRM_EXPECTS(config.loss.background_loss >= 0.0 && config.loss.background_loss <= 1.0);
+  QRM_EXPECTS(config.loss.burst_loss >= 0.0 && config.loss.burst_loss <= 1.0);
   QRM_EXPECTS(plan_round != nullptr);
 
   LoopReport report;
@@ -115,17 +143,26 @@ LoopReport run_rearrangement_loop(const OccupancyGrid& initial, const LoopConfig
     rr.commands = plan.schedule.size();
 
     for (const ParallelMove& move : plan.schedule.moves()) {
-      rr.atoms_lost += apply_lossy_move(state, move, rng, config.loss.per_move_loss);
+      rr.atoms_lost +=
+          apply_lossy_move(state, move, rng, config.loss.per_move_loss, config.plan.dead_channels);
     }
     if (config.exec.keep_schedules) report.schedules.push_back(plan.schedule);
     rr.atoms_lost += apply_background_loss(state, rng, config.loss.background_loss);
+    rr.atoms_lost += apply_burst_loss(state, rng, config.loss.burst_loss, config.loss.burst_length);
     rr.filled_after = state.region_full(config.plan.target);
     report.total_atoms_lost += rr.atoms_lost;
     report.rounds.push_back(rr);
 
     if (rr.filled_after) break;
-    if (rr.atoms_before - rr.atoms_lost <
-        static_cast<std::int64_t>(config.plan.target.area())) {
+    // Not-enough-atoms exit. Atoms frozen on dead channels can never reach
+    // the target, so under a mask the budget counts only usable atoms; with
+    // no mask the masked count IS the atom count, and the subtraction form
+    // below avoids an O(area) copy on that hot path.
+    const std::int64_t usable_atoms =
+        config.plan.dead_channels.empty()
+            ? rr.atoms_before - rr.atoms_lost
+            : mask_dead_lines(state, config.plan.dead_channels).atom_count();
+    if (usable_atoms < static_cast<std::int64_t>(config.plan.target.area())) {
       break;  // not enough atoms left to ever succeed
     }
   }

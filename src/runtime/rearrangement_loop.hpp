@@ -27,6 +27,14 @@ namespace qrm::rt {
 struct LossModel {
   double per_move_loss = 0.005;      ///< probability an atom is lost per executed move
   double background_loss = 0.002;    ///< per-atom loss probability between rounds
+  /// Correlated loss bursts (a collision with background gas, a tweezer
+  /// glitch): after each executed round, with this probability a burst
+  /// fires and kills `burst_length` consecutive trapped atoms (scan order,
+  /// start drawn uniformly). Draws come from the same derived per-shot
+  /// stream as the other loss coins, so determinism and worker-count
+  /// invariance carry over; 0.0 (the default) draws nothing at all.
+  double burst_loss = 0.0;
+  std::int32_t burst_length = 4;     ///< atoms killed per burst
   std::uint64_t seed = 0xA70B1055;   ///< master loss seed; shots draw derived streams
 
   /// The loss model of one shot in a batch: same physics, an independent

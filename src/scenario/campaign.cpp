@@ -179,8 +179,15 @@ batch::BatchConfig to_batch_config(const ScenarioSpec& spec, exec::ExecPolicy po
   config.imaged_detection = spec.imaged_detection;
   config.imaging.photons_per_atom = spec.photons_per_atom;
   config.detection.threshold_photons = spec.detection_threshold;
+  config.detection.threshold_bias = spec.threshold_bias;
+  config.drift.shape = spec.drift;
+  config.drift.amplitude = spec.drift_amplitude;
+  config.drift.period = spec.drift_period;
   config.loss.per_move_loss = spec.per_move_loss;
   config.loss.background_loss = spec.background_loss;
+  config.loss.burst_loss = spec.burst_loss;
+  config.loss.burst_length = spec.burst_length;
+  config.plan.dead_channels = DeadChannelMask{spec.dead_rows, spec.dead_cols};
   config.max_rounds = spec.max_rounds;
   config.exec = std::move(policy);
   return config;

@@ -162,6 +162,120 @@ std::vector<ScenarioSpec> build_registry() {
     spec.max_rounds = 6;
     scenarios.push_back(spec);
   }
+  // --- Hostile physics: fault injection, drift, dead channels -------------
+  // Each axis gets its own scenario (so a fingerprint drift names the broken
+  // axis) plus one kitchen-sink combining all of them. All are smoke-sized:
+  // these run under TSan in the hostile-physics CI job.
+  {
+    ScenarioSpec spec;
+    spec.name = "hostile-burst-loss";
+    spec.description = "correlated loss bursts: 30% of rounds lose a 6-atom run";
+    spec.tags = {"smoke", "hostile"};
+    spec.fill = 0.6;
+    spec.burst_loss = 0.3;
+    spec.burst_length = 6;
+    spec.shots = 8;
+    spec.max_rounds = 6;
+    scenarios.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "hostile-calibration-drift";
+    spec.description = "sinusoidal photon-rate drift (+/-50% over 4 shots) on marginal imaging";
+    spec.tags = {"smoke", "hostile", "detection"};
+    spec.grid_height = spec.grid_width = 24;
+    spec.fill = 0.6;
+    spec.imaged_detection = true;
+    spec.photons_per_atom = 24.0;
+    spec.drift = DriftShape::Sine;
+    spec.drift_amplitude = 0.5;
+    spec.drift_period = 4;
+    spec.shots = 8;
+    spec.max_rounds = 6;
+    scenarios.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "hostile-threshold-bias";
+    spec.description = "miscalibrated detector: auto threshold applied 35% too high";
+    spec.tags = {"smoke", "hostile", "detection"};
+    spec.grid_height = spec.grid_width = 24;
+    spec.fill = 0.6;
+    spec.imaged_detection = true;
+    spec.photons_per_atom = 24.0;
+    spec.threshold_bias = 1.35;
+    spec.shots = 8;
+    spec.max_rounds = 6;
+    scenarios.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "hostile-dead-rows";
+    spec.description = "two dead AOD rows outside the target; the legalizer hops across them";
+    spec.tags = {"smoke", "hostile"};
+    spec.fill = 0.6;
+    spec.dead_rows = {2, 28};
+    spec.shots = 8;
+    spec.max_rounds = 6;
+    scenarios.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "hostile-dead-cols-delta";
+    spec.description = "dead AOD columns under delta replanning (pinned bit-equal to scratch)";
+    spec.tags = {"smoke", "hostile"};
+    spec.fill = 0.6;
+    spec.dead_cols = {1, 30};
+    spec.replan = ReplanMode::Delta;
+    spec.shots = 8;
+    spec.max_rounds = 6;
+    scenarios.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "hostile-corner-block";
+    spec.description = "every atom packed into one quadrant - worst case cross-quadrant balance";
+    spec.tags = {"smoke", "hostile", "adversarial"};
+    spec.load = LoadProfile::Pattern;
+    spec.pattern = Pattern::CornerBlock;
+    spec.target_rows = spec.target_cols = 14;
+    spec.shots = 4;
+    spec.max_rounds = 6;
+    scenarios.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "hostile-half-grid";
+    spec.description = "top half full, bottom half empty - maximal one-directional rebalance";
+    spec.tags = {"smoke", "hostile", "adversarial"};
+    spec.load = LoadProfile::Pattern;
+    spec.pattern = Pattern::HalfGrid;
+    spec.shots = 4;
+    spec.max_rounds = 6;
+    scenarios.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "hostile-kitchen-sink";
+    spec.description = "every hostile axis at once: bursts, drift, bias, dead lines, delta replan";
+    spec.tags = {"smoke", "hostile"};
+    spec.grid_height = spec.grid_width = 24;
+    spec.fill = 0.6;
+    spec.imaged_detection = true;
+    spec.photons_per_atom = 24.0;
+    spec.drift = DriftShape::Ramp;
+    spec.drift_amplitude = 0.3;
+    spec.drift_period = 5;
+    spec.threshold_bias = 1.2;
+    spec.burst_loss = 0.2;
+    spec.burst_length = 4;
+    spec.dead_rows = {1};
+    spec.dead_cols = {22};
+    spec.replan = ReplanMode::Delta;
+    spec.shots = 8;
+    spec.max_rounds = 6;
+    scenarios.push_back(spec);
+  }
   {
     // Production-scale stress point: ~36k traps. Deliberately not tagged
     // "smoke" - minutes, not seconds.

@@ -125,8 +125,41 @@ const std::vector<std::pair<std::string, Pattern>>& pattern_table() {
       {"row-stripes", Pattern::RowStripes},
       {"col-stripes", Pattern::ColStripes},
       {"border", Pattern::Border},
+      {"corner-block", Pattern::CornerBlock},
+      {"half-grid", Pattern::HalfGrid},
   };
   return table;
+}
+
+const std::vector<std::pair<std::string, DriftShape>>& drift_table() {
+  static const std::vector<std::pair<std::string, DriftShape>> table = {
+      {"none", DriftShape::None},
+      {"ramp", DriftShape::Ramp},
+      {"sine", DriftShape::Sine},
+  };
+  return table;
+}
+
+/// Comma list of dead AOD line indices, strictly ascending (which also bans
+/// duplicates) so the serialized form is canonical: one spec, one text.
+std::vector<std::int32_t> parse_line_list(const std::string& key, const std::string& value) {
+  std::vector<std::int32_t> lines;
+  // istringstream+getline silently swallows a trailing empty element, so a
+  // dangling comma must be rejected up front.
+  if (!value.empty() && value.back() == ',')
+    parse_fail("key '" + key + "' has an empty element");
+  std::istringstream list(value);
+  std::string item;
+  while (std::getline(list, item, ',')) {
+    const std::string cleaned = trim(item);
+    if (cleaned.empty()) parse_fail("key '" + key + "' has an empty element");
+    const auto line = static_cast<std::int32_t>(parse_bounded(key, cleaned, 0, kMaxGridSide - 1));
+    if (!lines.empty() && line <= lines.back())
+      parse_fail("key '" + key + "': line indices must be strictly ascending");
+    lines.push_back(line);
+  }
+  if (lines.empty()) parse_fail("key '" + key + "' must list at least one line index");
+  return lines;
 }
 
 template <typename Enum>
@@ -232,6 +265,41 @@ void validate(const ScenarioSpec& spec) {
                        spec.detection_threshold >= 0.0 &&
                        spec.detection_threshold <= kMaxPhotons),
                   "scenario detection_threshold must be -1 (auto) or a finite photon count");
+  check_probability("burst_loss", spec.burst_loss);
+  QRM_EXPECTS_MSG(spec.burst_length >= 1 && spec.burst_length <= kMaxCount,
+                  "scenario burst_length must be in [1, cap]");
+  QRM_EXPECTS_MSG(std::isfinite(spec.drift_amplitude) && spec.drift_amplitude >= 0.0 &&
+                      spec.drift_amplitude <= 1.0,
+                  "scenario drift_amplitude must be in [0,1]");
+  QRM_EXPECTS_MSG(spec.drift_period >= 1 && spec.drift_period <= kMaxCount,
+                  "scenario drift_period must be in [1, cap]");
+  QRM_EXPECTS_MSG(std::isfinite(spec.threshold_bias) && spec.threshold_bias > 0.0 &&
+                      spec.threshold_bias <= 100.0,
+                  "scenario threshold_bias must be finite in (0, 100]");
+  // Imaging-only axes serialize inside the imaged_detection block; allowing
+  // them without it would drop them from the text form and break the
+  // serialize/parse round trip.
+  QRM_EXPECTS_MSG(spec.imaged_detection ||
+                      (spec.drift == DriftShape::None && spec.threshold_bias == 1.0),
+                  "scenario drift/threshold_bias require imaged_detection");
+  // Dead channels: strictly ascending in-grid indices, disjoint from the
+  // target (atoms on dead lines are frozen — a dead target line could never
+  // be filled, so every shot would be an unwinnable dud, not a stress test).
+  const auto check_dead = [&](const char* what, const std::vector<std::int32_t>& lines,
+                              std::int32_t limit, std::int32_t target_lo, std::int32_t target_hi) {
+    std::int32_t prev = -1;
+    for (const std::int32_t line : lines) {
+      QRM_EXPECTS_MSG(line >= 0 && line < limit,
+                      "scenario " + std::string(what) + " index outside the grid");
+      QRM_EXPECTS_MSG(line > prev,
+                      "scenario " + std::string(what) + " must be strictly ascending");
+      QRM_EXPECTS_MSG(line < target_lo || line >= target_hi,
+                      "scenario " + std::string(what) + " intersects the target region");
+      prev = line;
+    }
+  };
+  check_dead("dead_rows", spec.dead_rows, spec.grid_height, target.row0, target.row_end());
+  check_dead("dead_cols", spec.dead_cols, spec.grid_width, target.col0, target.col_end());
   // Unknown algorithm names throw here, with the registry's own message.
   (void)baselines::make_algorithm(spec.algorithm);
 }
@@ -315,6 +383,15 @@ std::string serialize(const ScenarioSpec& spec) {
       os << "detection_threshold=auto\n";
     else
       os << "detection_threshold=" << format_double(spec.detection_threshold) << "\n";
+    // Hostile imaging axes, emitted only when active so pre-existing spec
+    // fingerprints cannot drift.
+    if (spec.drift != DriftShape::None) {
+      os << "drift=" << enum_text(spec.drift, drift_table()) << "\n";
+      os << "drift_amplitude=" << format_double(spec.drift_amplitude) << "\n";
+      os << "drift_period=" << spec.drift_period << "\n";
+    }
+    if (spec.threshold_bias != 1.0)
+      os << "threshold_bias=" << format_double(spec.threshold_bias) << "\n";
   }
   os << "shots=" << spec.shots << "\n";
   {
@@ -324,7 +401,19 @@ std::string serialize(const ScenarioSpec& spec) {
   }
   os << "per_move_loss=" << format_double(spec.per_move_loss) << "\n";
   os << "background_loss=" << format_double(spec.background_loss) << "\n";
+  if (spec.burst_loss > 0.0) {
+    os << "burst_loss=" << format_double(spec.burst_loss) << "\n";
+    os << "burst_length=" << spec.burst_length << "\n";
+  }
   os << "max_rounds=" << spec.max_rounds << "\n";
+  const auto emit_lines = [&os](const char* key, const std::vector<std::int32_t>& lines) {
+    if (lines.empty()) return;
+    os << key << "=";
+    for (std::size_t i = 0; i < lines.size(); ++i) os << (i > 0 ? "," : "") << lines[i];
+    os << "\n";
+  };
+  emit_lines("dead_rows", spec.dead_rows);
+  emit_lines("dead_cols", spec.dead_cols);
   return os.str();
 }
 
@@ -435,6 +524,22 @@ ScenarioSpec parse_lines(const std::vector<SpecLine>& lines) {
       spec.background_loss = parse_double(key, value);
     } else if (key == "max_rounds") {
       spec.max_rounds = static_cast<std::uint32_t>(parse_bounded(key, value, 1, kMaxCount));
+    } else if (key == "burst_loss") {
+      spec.burst_loss = parse_double(key, value);
+    } else if (key == "burst_length") {
+      spec.burst_length = static_cast<std::int32_t>(parse_bounded(key, value, 1, kMaxCount));
+    } else if (key == "drift") {
+      spec.drift = parse_enum(key, value, drift_table());
+    } else if (key == "drift_amplitude") {
+      spec.drift_amplitude = parse_double(key, value);
+    } else if (key == "drift_period") {
+      spec.drift_period = static_cast<std::uint32_t>(parse_bounded(key, value, 1, kMaxCount));
+    } else if (key == "threshold_bias") {
+      spec.threshold_bias = parse_double(key, value);
+    } else if (key == "dead_rows") {
+      spec.dead_rows = parse_line_list(key, value);
+    } else if (key == "dead_cols") {
+      spec.dead_cols = parse_line_list(key, value);
     } else {
       parse_fail("unknown key '" + key + "'");
     }
@@ -449,10 +554,21 @@ ScenarioSpec parse_lines(const std::vector<SpecLine>& lines) {
   // Imaging keys are gated the same way, on imaged_detection rather than
   // the load profile: a stray photons_per_atom in a perfect-detection spec
   // is a spec bug, not a silent default.
-  for (const char* key : {"photons_per_atom", "detection_threshold"}) {
+  for (const char* key :
+       {"photons_per_atom", "detection_threshold", "drift", "drift_amplitude", "drift_period",
+        "threshold_bias"}) {
     if (seen.count(key) > 0 && !spec.imaged_detection)
       parse_fail("key '" + std::string(key) + "' requires imaged_detection=true");
   }
+  // Sub-axis keys only apply when their parent axis is active — a stray
+  // drift_amplitude with no drift shape (or a burst_length with no burst
+  // probability) would silently serialize away, breaking the round trip.
+  for (const char* key : {"drift_amplitude", "drift_period"}) {
+    if (seen.count(key) > 0 && spec.drift == DriftShape::None)
+      parse_fail("key '" + std::string(key) + "' requires drift=ramp|sine");
+  }
+  if (seen.count("burst_length") > 0 && spec.burst_loss <= 0.0)
+    parse_fail("key 'burst_length' requires burst_loss > 0");
   validate(spec);
   return spec;
 }

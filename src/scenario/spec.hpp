@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "detection/calibration.hpp"
 #include "lattice/grid.hpp"
 #include "lattice/region.hpp"
 #include "loading/loader.hpp"
@@ -101,6 +102,31 @@ struct ScenarioSpec {
   double per_move_loss = 0.005;
   double background_loss = 0.002;
   std::uint32_t max_rounds = 10;
+
+  // --- Hostile physics ----------------------------------------------------
+  // Fault-injection axes. Every default below is the serialized default
+  // (key omitted == value here), so pre-existing spec fingerprints are
+  // untouched, and every default disables its axis without consuming a
+  // single RNG draw — pre-existing outcome fingerprints are untouched too.
+  /// Correlated loss bursts (rt::LossModel::burst_loss): probability per
+  /// executed round that a burst kills `burst_length` consecutive atoms.
+  /// Serialized only when > 0; `burst_length` only applies then.
+  double burst_loss = 0.0;
+  std::int32_t burst_length = 4;
+  /// Per-shot calibration drift on the imaging model (requires
+  /// imaged_detection): shape none|ramp|sine; amplitude/period keys only
+  /// apply when the shape is not none.
+  DriftShape drift = DriftShape::None;
+  double drift_amplitude = 0.2;
+  std::uint32_t drift_period = 8;
+  /// Detection-threshold miscalibration multiplier (requires
+  /// imaged_detection); 1.0 is bit-exact identity.
+  double threshold_bias = 1.0;
+  /// Dead AOD channels (moves/dead_channels.hpp): strictly ascending line
+  /// indices inside the grid, disjoint from the target region. Serialized
+  /// as comma lists, only when non-empty.
+  std::vector<std::int32_t> dead_rows;
+  std::vector<std::int32_t> dead_cols;
 
   /// The concrete centred target this spec plans into (resolves `auto`).
   [[nodiscard]] Region target_region() const;

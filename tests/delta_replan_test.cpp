@@ -315,6 +315,130 @@ TEST(DeltaReplan, LoopWithQuadrantLocalDamageReusesKernels) {
   EXPECT_EQ(report.rounds_used(), scratch.rounds_used());
 }
 
+/// Field-for-field report comparison shared by the hostile-interaction pins
+/// below: rounds, per-round accounting, schedules, final grid, success.
+void expect_loop_reports_equal(const rt::LoopReport& delta, const rt::LoopReport& scratch) {
+  EXPECT_EQ(delta.success, scratch.success);
+  EXPECT_EQ(delta.total_atoms_lost, scratch.total_atoms_lost);
+  EXPECT_EQ(delta.final_grid, scratch.final_grid);
+  EXPECT_EQ(delta.schedules, scratch.schedules);
+  ASSERT_EQ(delta.rounds_used(), scratch.rounds_used());
+  for (std::size_t i = 0; i < delta.rounds.size(); ++i) {
+    SCOPED_TRACE("round " + std::to_string(i));
+    EXPECT_EQ(delta.rounds[i].atoms_before, scratch.rounds[i].atoms_before);
+    EXPECT_EQ(delta.rounds[i].defects_before, scratch.rounds[i].defects_before);
+    EXPECT_EQ(delta.rounds[i].commands, scratch.rounds[i].commands);
+    EXPECT_EQ(delta.rounds[i].atoms_lost, scratch.rounds[i].atoms_lost);
+    EXPECT_EQ(delta.rounds[i].filled_after, scratch.rounds[i].filled_after);
+  }
+}
+
+rt::LoopReport run_both_modes_and_compare(const OccupancyGrid& initial, rt::LoopConfig config) {
+  config.exec.keep_schedules = true;
+  config.exec.replan = ReplanMode::Scratch;
+  const rt::LoopReport scratch = rt::run_rearrangement_loop(initial, config);
+  config.exec.replan = ReplanMode::Delta;
+  const rt::LoopReport delta = rt::run_rearrangement_loop(initial, config);
+  expect_loop_reports_equal(delta, scratch);
+  expect_stats_consistent(delta.replan);
+  return delta;
+}
+
+TEST(DeltaReplan, NotEnoughAtomsEarlyExitMatchesScratchFieldForField) {
+  // The interaction pin: when heavy background loss drains the array below
+  // the target area mid-loop, the not-enough-atoms early exit must fire on
+  // the identical round under Delta — a replanner holding stale kernels
+  // across the break would diverge here, not in the happy path.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const OccupancyGrid initial = testutil::seeded_grid(24, 24, 0.45, seed);
+    rt::LoopConfig config;
+    config.plan.target = centered_square(24, 14);  // 196 of ~260 atoms: tight
+    config.loss.per_move_loss = 0.05;
+    config.loss.background_loss = 0.15;  // drains below 196 within a round or two
+    config.loss.seed = seed;
+    const rt::LoopReport delta = run_both_modes_and_compare(initial, config);
+    EXPECT_FALSE(delta.success);
+    EXPECT_LT(delta.rounds_used(), std::size_t{10})
+        << "the scenario must actually hit the early exit, not the round budget";
+  }
+
+  // Degenerate form: usable atoms below the target area from the start.
+  const OccupancyGrid sparse = testutil::seeded_grid(24, 24, 0.2, 9);
+  rt::LoopConfig config;
+  config.plan.target = centered_square(24, 14);
+  const rt::LoopReport delta = run_both_modes_and_compare(sparse, config);
+  EXPECT_EQ(delta.rounds_used(), std::size_t{1});
+}
+
+TEST(DeltaReplan, DeadChannelMasksMatchScratchFieldForField) {
+  // Dead AOD lines under Delta: both planners mask the grid at plan()
+  // entry, so the diff the replanner sees is a diff of *masked* grids and
+  // delta stays bit-equal to scratch. Atoms frozen on dead lines must also
+  // survive untouched in both modes.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const OccupancyGrid initial = testutil::seeded_grid(24, 24, 0.65, seed);
+    rt::LoopConfig config;
+    config.plan.target = centered_square(24, 12);  // rows/cols 6..18
+    config.plan.dead_channels = DeadChannelMask{{2, 21}, {1}};
+    config.loss.per_move_loss = 0.03;
+    config.loss.background_loss = 0.0;  // frozen atoms must persist exactly
+    config.loss.seed = seed;
+    const rt::LoopReport delta = run_both_modes_and_compare(initial, config);
+    for (std::int32_t c = 0; c < 24; ++c) {
+      EXPECT_EQ(delta.final_grid.occupied({2, c}), initial.occupied({2, c}))
+          << "dead row 2 changed at col " << c;
+      EXPECT_EQ(delta.final_grid.occupied({21, c}), initial.occupied({21, c}))
+          << "dead row 21 changed at col " << c;
+    }
+    for (std::int32_t r = 0; r < 24; ++r)
+      EXPECT_EQ(delta.final_grid.occupied({r, 1}), initial.occupied({r, 1}))
+          << "dead col 1 changed at row " << r;
+  }
+}
+
+TEST(DeltaReplan, DeadMaskNotEnoughUsableAtomsExitsIdenticallyEarly) {
+  // Enough atoms in total, but too few *usable* ones once the dead-line
+  // freeze is subtracted: the early exit must count masked atoms, and fire
+  // on round 1 in both modes.
+  OccupancyGrid initial(16, 16);
+  const Region target = centered_square(16, 8);  // 64 sites, rows/cols 4..12
+  // 40 usable atoms in the target's top rows + 30 frozen on dead row 0.
+  std::int32_t placed = 0;
+  for (std::int32_t r = target.row0; r < target.row_end() && placed < 40; ++r)
+    for (std::int32_t c = target.col0; c < target.col_end() && placed < 40; ++c, ++placed)
+      initial.set({r, c});
+  for (std::int32_t c = 0; c < 15; ++c) initial.set({0, c});
+  for (std::int32_t c = 0; c < 15; ++c) initial.set({1, c});
+  ASSERT_GE(initial.atom_count(), target.area());  // unmasked count would proceed
+
+  rt::LoopConfig config;
+  config.plan.target = target;
+  config.plan.dead_channels = DeadChannelMask{{0, 1}, {}};
+  const rt::LoopReport delta = run_both_modes_and_compare(initial, config);
+  EXPECT_FALSE(delta.success);
+  EXPECT_EQ(delta.rounds_used(), std::size_t{1})
+      << "the usable-atom count must subtract dead-line atoms before round 2";
+}
+
+TEST(DeltaReplan, BurstLossMatchesScratchFieldForField) {
+  // Correlated bursts draw from the loop's derived loss stream after the
+  // move/background draws; the stream position is identical under Delta, so
+  // every burst lands on the same atoms.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const OccupancyGrid initial = testutil::seeded_grid(24, 24, 0.65, seed);
+    rt::LoopConfig config;
+    config.plan.target = centered_square(24, 12);
+    config.loss.per_move_loss = 0.02;
+    config.loss.burst_loss = 0.5;
+    config.loss.burst_length = 5;
+    config.loss.seed = seed * 7;
+    (void)run_both_modes_and_compare(initial, config);
+  }
+}
+
 TEST(DeltaReplan, BatchFingerprintUnchangedUnderDelta) {
   // Batch plumbing: the per-shot loops run with DeltaReplanner plan
   // functions, and every outcome field — hence the report fingerprint —

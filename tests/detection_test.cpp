@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/assert.hpp"
+#include "detection/calibration.hpp"
 #include "detection/detector.hpp"
 #include "detection/image.hpp"
 #include "loading/loader.hpp"
@@ -124,6 +127,81 @@ TEST(Detector, ManualThresholdRespected) {
   EXPECT_EQ(detect_atoms(img, 4, 4, det).atom_count(), 16);
 }
 
+TEST(Detector, ThresholdTieCountsAsOccupied) {
+  // The boundary case every call site must agree on: a site whose photon
+  // integral equals the applied threshold EXACTLY is occupied (>=). This was
+  // previously unspecified across detector.cpp call sites; meets_threshold
+  // pins it in one place and this test pins meets_threshold.
+  static_assert(meets_threshold(10.0, 10.0));
+  static_assert(!meets_threshold(9.999999999999998, 10.0));
+  static_assert(meets_threshold(10.000000000000002, 10.0));
+
+  // End to end: one pixel per site, photon values hand-placed around the
+  // manual threshold. Exactly-at-threshold must land occupied.
+  FluorescenceImage img(2, 2);
+  img.add(0, 0, 9.999999999999998);   // one ulp below 10 -> dark
+  img.add(0, 1, 10.0);                // exact tie -> occupied
+  img.add(1, 0, 10.000000000000002);  // one ulp above -> occupied
+  DetectionConfig det;
+  det.pixels_per_site = 1;
+  det.threshold_photons = 10.0;
+  const OccupancyGrid detected = detect_atoms(img, 2, 2, det);
+  EXPECT_FALSE(detected.occupied({0, 0}));
+  EXPECT_TRUE(detected.occupied({0, 1}));
+  EXPECT_TRUE(detected.occupied({1, 0}));
+  EXPECT_FALSE(detected.occupied({1, 1}));  // 0 photons vs threshold 10
+}
+
+TEST(Detector, ThresholdBiasScalesManualAndAutoThresholds) {
+  FluorescenceImage img(2, 2);
+  img.add(0, 0, 10.0);
+  img.add(0, 1, 30.0);
+  DetectionConfig det;
+  det.pixels_per_site = 1;
+  det.threshold_photons = 10.0;
+  // Unbiased: both bright pixels pass (10 ties, 30 clears).
+  EXPECT_EQ(detect_atoms(img, 2, 2, det).atom_count(), 2);
+  // Bias 1.5: applied threshold 15 — the tie site goes dark, 30 survives.
+  det.threshold_bias = 1.5;
+  const OccupancyGrid biased = detect_atoms(img, 2, 2, det);
+  EXPECT_EQ(biased.atom_count(), 1);
+  EXPECT_TRUE(biased.occupied({0, 1}));
+  // Bias on the *auto* threshold too: crank it until even the brightest
+  // site fails its own class threshold.
+  det.threshold_photons = -1.0;
+  det.threshold_bias = 10.0;
+  EXPECT_EQ(detect_atoms(img, 2, 2, det).atom_count(), 0);
+}
+
+TEST(Detector, ThresholdBiasIdentityIsBitExact) {
+  // bias=1.0 must be a no-op down to the last bit, or every existing
+  // imaged-detection fingerprint would drift.
+  const OccupancyGrid truth = load_random(12, 12, {0.5, 17});
+  ImagingConfig imaging;
+  imaging.photons_per_atom = 24.0;
+  imaging.seed = 17;
+  const FluorescenceImage img = render_image(truth, imaging);
+  DetectionConfig det;
+  det.pixels_per_site = imaging.pixels_per_site;
+  const OccupancyGrid baseline = detect_atoms(img, 12, 12, det);
+  det.threshold_bias = 1.0;
+  EXPECT_EQ(detect_atoms(img, 12, 12, det), baseline);
+}
+
+TEST(Detector, RejectsBadThresholdBias) {
+  const FluorescenceImage img(2, 2);
+  DetectionConfig det;
+  det.pixels_per_site = 1;
+  det.threshold_bias = 0.0;
+  EXPECT_THROW((void)detect_atoms(img, 2, 2, det), PreconditionError);
+  det.threshold_bias = -1.0;
+  EXPECT_THROW((void)detect_atoms(img, 2, 2, det), PreconditionError);
+  det.threshold_bias = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)detect_atoms(img, 2, 2, det), PreconditionError);
+  det.threshold_bias = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)detect_atoms(img, 2, 2, det), PreconditionError);
+}
+
 TEST(Detector, RejectsGeometryMismatch) {
   const FluorescenceImage img(10, 10);
   DetectionConfig det;
@@ -142,6 +220,36 @@ TEST(Detector, CompareDetectionCountsBothKinds) {
   EXPECT_EQ(errors.false_negatives, 1);
   EXPECT_EQ(errors.false_positives, 1);
   EXPECT_EQ(errors.total(), 2);
+}
+
+TEST(CalibrationDrift, FactorIsDeterministicPeriodicAndRngFree) {
+  // The drift factor is a pure function of the shot index — same index,
+  // same factor, no RNG stream consumed anywhere.
+  CalibrationDrift drift;
+  EXPECT_DOUBLE_EQ(drift.factor(0), 1.0);  // shape None: identity at any index
+  EXPECT_DOUBLE_EQ(drift.factor(123), 1.0);
+
+  drift.shape = DriftShape::Ramp;
+  drift.amplitude = 0.4;
+  drift.period = 8;
+  EXPECT_DOUBLE_EQ(drift.factor(0), 1.0);        // ramp starts at nominal
+  EXPECT_DOUBLE_EQ(drift.factor(4), 1.2);        // halfway up
+  EXPECT_DOUBLE_EQ(drift.factor(7), 1.0 + 0.4 * 7.0 / 8.0);
+  EXPECT_DOUBLE_EQ(drift.factor(8), drift.factor(0));    // periodic
+  EXPECT_DOUBLE_EQ(drift.factor(8000), drift.factor(0));
+
+  drift.shape = DriftShape::Sine;
+  EXPECT_DOUBLE_EQ(drift.factor(0), 1.0);
+  EXPECT_NEAR(drift.factor(2), 1.4, 1e-12);      // quarter period: peak
+  EXPECT_NEAR(drift.factor(6), 0.6, 1e-12);      // three quarters: trough
+  EXPECT_DOUBLE_EQ(drift.factor(8), drift.factor(0));
+
+  // amplitude 0 and period 0 are identities, not division hazards.
+  drift.amplitude = 0.0;
+  EXPECT_DOUBLE_EQ(drift.factor(5), 1.0);
+  drift.amplitude = 0.4;
+  drift.period = 0;
+  EXPECT_DOUBLE_EQ(drift.factor(5), 1.0);
 }
 
 TEST(Detector, ErrorInjectionRates) {

@@ -160,6 +160,24 @@ TEST(GoldenFingerprints, OutcomesMatchGoldenUnderDeltaReplanning) {
   }
 }
 
+TEST(GoldenFingerprints, OutcomesMatchGoldenUnderDeltaParallelPlanning) {
+  // Both execution hints at once: delta replanning *and* intra-plan quadrant
+  // parallelism. The hostile corpus rows make this the strongest form of the
+  // invariance claim — burst loss, calibration drift, threshold bias and
+  // dead channels all hold their pinned outcomes while the planner runs
+  // delta over four workers.
+  for (const scenario::ScenarioSpec& spec : scenario::registry()) {
+    const GoldenRow* row = find_row(spec.name);
+    if (row == nullptr || row->outcome_fingerprint == 0) continue;
+    const std::uint64_t recomputed = outcome_fingerprint(
+        spec, {.intra_plan_workers = 4, .replan = ReplanMode::Delta, .plan_cache = false});
+    EXPECT_EQ(recomputed, row->outcome_fingerprint)
+        << "delta+parallel planning drifted the outcome for '" << spec.name << "': golden 0x"
+        << std::hex << row->outcome_fingerprint << ", recomputed 0x" << recomputed << std::dec
+        << kRegenerateHint;
+  }
+}
+
 TEST(GoldenFingerprints, RegenerateCorpus) {
   if (std::getenv("QRM_PRINT_GOLDEN") == nullptr)
     GTEST_SKIP() << "set QRM_PRINT_GOLDEN=1 to print a fresh corpus";

@@ -93,6 +93,38 @@ TEST(Loader, GradientExtremesAndDegenerateSpans) {
   EXPECT_EQ(load_gradient(0, 0, {0.3, 0.7, GradientAxis::Rows, 1}).atom_count(), 0);
 }
 
+TEST(Loader, GradientEndpointLinesAreExactAtExtremeFills) {
+  // A 0.0 or 1.0 endpoint fill must be honoured *exactly* on the endpoint
+  // line, for every seed. The interpolated form start + (end-start)*t can
+  // land one ulp off at t=1, turning "always load" into a ~1e-16 chance of
+  // a hole — this pins the endpoint-exactness fix.
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const OccupancyGrid up = load_gradient(48, 8, {0.0, 1.0, GradientAxis::Rows, seed});
+    EXPECT_EQ(up.row(0).count(), 0u) << "seed " << seed;
+    EXPECT_EQ(up.row(47).count(), 8u) << "seed " << seed;
+    const OccupancyGrid down = load_gradient(48, 8, {1.0, 0.0, GradientAxis::Rows, seed});
+    EXPECT_EQ(down.row(0).count(), 8u) << "seed " << seed;
+    EXPECT_EQ(down.row(47).count(), 0u) << "seed " << seed;
+  }
+}
+
+TEST(Loader, ClusteredDegenerateFills) {
+  // Blast regions on an already-empty grid stay a no-op; a full grid with
+  // zero clusters stays full; a 1xN strip with a blast region bigger than
+  // the strip empties completely. None of these may throw or over/underfill.
+  ClusteredLoaderConfig config;
+  config.base = {0.0, 7};
+  config.clusters = 4;
+  config.cluster_radius = 3;
+  EXPECT_EQ(load_clustered(12, 12, config).atom_count(), 0);
+  config.base = {1.0, 7};
+  config.clusters = 0;
+  EXPECT_EQ(load_clustered(12, 12, config).atom_count(), 144);
+  config.clusters = 8;
+  config.cluster_radius = 16;
+  EXPECT_EQ(load_clustered(1, 12, config).atom_count(), 0);
+}
+
 TEST(Loader, AtLeastRetriesUntilEnough) {
   // Demand slightly above the mean so the first draw sometimes misses.
   const OccupancyGrid g = load_random_at_least(20, 20, {0.5, 9}, 205);
@@ -122,6 +154,17 @@ TEST(Loader, Patterns) {
   EXPECT_EQ(load_pattern(4, 4, Pattern::RowStripes).atom_count(), 8);
   EXPECT_EQ(load_pattern(4, 4, Pattern::ColStripes).atom_count(), 8);
   EXPECT_EQ(load_pattern(4, 4, Pattern::Border).atom_count(), 12);
+  // CornerBlock: the top-left ceil(H/2) x ceil(W/2) block, exact on odd dims.
+  EXPECT_EQ(load_pattern(4, 4, Pattern::CornerBlock).atom_count(), 4);
+  EXPECT_EQ(load_pattern(5, 5, Pattern::CornerBlock).atom_count(), 9);
+  EXPECT_TRUE(load_pattern(4, 4, Pattern::CornerBlock).occupied({1, 1}));
+  EXPECT_FALSE(load_pattern(4, 4, Pattern::CornerBlock).occupied({2, 1}));
+  EXPECT_FALSE(load_pattern(4, 4, Pattern::CornerBlock).occupied({1, 2}));
+  // HalfGrid: the top ceil(H/2) rows, exact on odd heights.
+  EXPECT_EQ(load_pattern(4, 4, Pattern::HalfGrid).atom_count(), 8);
+  EXPECT_EQ(load_pattern(5, 4, Pattern::HalfGrid).atom_count(), 12);
+  EXPECT_TRUE(load_pattern(4, 4, Pattern::HalfGrid).occupied({1, 3}));
+  EXPECT_FALSE(load_pattern(4, 4, Pattern::HalfGrid).occupied({2, 0}));
   const OccupancyGrid cb = load_pattern(3, 3, Pattern::Checkerboard);
   EXPECT_TRUE(cb.occupied({0, 0}));
   EXPECT_FALSE(cb.occupied({0, 1}));

@@ -198,6 +198,81 @@ TEST(RearrangementLoop, RejectsBadConfig) {
   config.max_rounds = 1;
   config.loss.per_move_loss = 1.5;
   EXPECT_THROW((void)rt::run_rearrangement_loop(initial, config), PreconditionError);
+  config.loss.per_move_loss = 0.0;
+  config.loss.burst_loss = 1.5;
+  EXPECT_THROW((void)rt::run_rearrangement_loop(initial, config), PreconditionError);
+  config.loss.burst_loss = -0.1;
+  EXPECT_THROW((void)rt::run_rearrangement_loop(initial, config), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile physics: correlated loss bursts + dead AOD channels
+// ---------------------------------------------------------------------------
+
+TEST(RearrangementLoop, CertainBurstLossKillsARunEveryRound) {
+  const OccupancyGrid initial = load_random(24, 24, {0.65, 5});
+  rt::LoopConfig config = loop_config(24, 14);
+  config.loss.per_move_loss = 0.0;
+  config.loss.background_loss = 0.0;
+  config.loss.burst_loss = 1.0;  // a burst fires on every executed round
+  config.loss.burst_length = 6;
+  config.max_rounds = 4;
+  const rt::LoopReport report = rt::run_rearrangement_loop(initial, config);
+  // Every executed round loses exactly one burst (no other loss channel):
+  // 6 atoms, or everything left if fewer remain.
+  for (const rt::RoundReport& round : report.rounds) {
+    EXPECT_EQ(round.atoms_lost, std::min<std::int64_t>(6, round.atoms_before));
+  }
+  EXPECT_EQ(report.final_grid.atom_count() + report.total_atoms_lost, initial.atom_count());
+}
+
+TEST(RearrangementLoop, DisabledBurstLossDrawsNothingFromTheLossStream) {
+  // burst_loss = 0 must consume ZERO RNG draws — otherwise every
+  // pre-existing loss outcome would shift. Differential form: a run with
+  // burst disabled is bit-identical whatever burst_length says, and equal
+  // to a config that never heard of bursts.
+  const OccupancyGrid initial = load_random(24, 24, {0.62, 11});
+  rt::LoopConfig config = loop_config(24, 14);
+  config.loss.per_move_loss = 0.03;
+  config.loss.background_loss = 0.01;
+  const rt::LoopReport baseline = rt::run_rearrangement_loop(initial, config);
+  config.loss.burst_loss = 0.0;
+  config.loss.burst_length = 999;  // irrelevant while the probability is 0
+  const rt::LoopReport disabled = rt::run_rearrangement_loop(initial, config);
+  EXPECT_EQ(disabled.final_grid, baseline.final_grid);
+  EXPECT_EQ(disabled.total_atoms_lost, baseline.total_atoms_lost);
+  EXPECT_EQ(disabled.rounds_used(), baseline.rounds_used());
+}
+
+TEST(RearrangementLoop, DeadLinesFreezeAtomsButTheLoopStillFills) {
+  // A dead row above the target and a dead column to its left: atoms there
+  // are frozen (no pickup, no loss exposure via moves), the planner works
+  // on the masked grid, and movers hop *across* the dead lines — a 0.65
+  // fill still has plenty of usable stock, so the loop must succeed.
+  const OccupancyGrid initial = load_random(24, 24, {0.65, 13});
+  rt::LoopConfig config = loop_config(24, 12);  // target rows/cols 6..18
+  config.plan.dead_channels = DeadChannelMask{{3}, {20}};
+  config.loss.per_move_loss = 0.0;
+  config.loss.background_loss = 0.0;
+  const rt::LoopReport report = rt::run_rearrangement_loop(initial, config);
+  EXPECT_TRUE(report.success);
+  EXPECT_TRUE(report.final_grid.region_full(config.plan.target));
+  // Frozen atoms persist bit-exactly (no loss channels are on).
+  for (std::int32_t c = 0; c < 24; ++c)
+    EXPECT_EQ(report.final_grid.occupied({3, c}), initial.occupied({3, c})) << "col " << c;
+  for (std::int32_t r = 0; r < 24; ++r)
+    EXPECT_EQ(report.final_grid.occupied({r, 20}), initial.occupied({r, 20})) << "row " << r;
+}
+
+TEST(RearrangementLoop, EmptyDeadMaskIsBitExactNoOp) {
+  const OccupancyGrid initial = load_random(20, 20, {0.6, 17});
+  rt::LoopConfig config = loop_config(20, 12);
+  config.loss.per_move_loss = 0.02;
+  const rt::LoopReport baseline = rt::run_rearrangement_loop(initial, config);
+  config.plan.dead_channels = DeadChannelMask{};
+  const rt::LoopReport masked = rt::run_rearrangement_loop(initial, config);
+  EXPECT_EQ(masked.final_grid, baseline.final_grid);
+  EXPECT_EQ(masked.total_atoms_lost, baseline.total_atoms_lost);
 }
 
 // ---------------------------------------------------------------------------

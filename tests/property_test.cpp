@@ -14,11 +14,13 @@
 
 #include "util/assert.hpp"
 #include "batch/batch_planner.hpp"
+#include "detection/calibration.hpp"
 #include "exec/plan_cache.hpp"
 #include "core/planner.hpp"
 #include "lattice/grid.hpp"
 #include "lattice/quadrant.hpp"
 #include "loading/loader.hpp"
+#include "moves/dead_channels.hpp"
 #include "moves/realizer.hpp"
 #include "runtime/rearrangement_loop.hpp"
 #include "scenario/campaign.hpp"
@@ -393,6 +395,71 @@ TEST(ShardProperty, AnyShardAndWorkerCountMergesToIdenticalReportBytes) {
       config.shards = shards;
       EXPECT_EQ(report_bytes(scenario::CampaignRunner(config).run(specs)), expected)
           << shards << " shards, " << workers << " workers";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile physics, randomized
+// ---------------------------------------------------------------------------
+
+// 50 random seeds — 10 masters x 5 shots with every hostile axis engaged at
+// once (correlated loss bursts, sinusoidal calibration drift, threshold
+// miscalibration, dead AOD lines): the outcome must be invariant across
+// worker counts, intra-plan fan-out, and scratch-vs-delta replanning —
+// identical report fingerprints AND identical per-shot grids/accounting.
+TEST(HostileProperty, FiftyRandomSeedsInvariantAcrossWorkersAndReplanModes) {
+  Rng rng(0x4057113);
+  for (std::uint32_t master = 0; master < 10; ++master) {
+    batch::BatchConfig config;
+    config.grid_height = config.grid_width = 16;
+    config.plan.target = centered_square(16, 8);  // rows/cols 4..11
+    config.plan.dead_channels = DeadChannelMask{{1}, {13}};
+    config.fill = 0.75;
+    config.shots = 5;
+    config.master_seed = rng.next_u64();
+    config.loss.seed = rng.next_u64();
+    config.loss.per_move_loss = 0.01;
+    config.loss.background_loss = 0.005;
+    config.loss.burst_loss = 0.3;
+    config.loss.burst_length = 5;
+    config.imaged_detection = true;
+    config.imaging.photons_per_atom = 28.0;
+    config.imaging.seed = rng.next_u64();
+    config.detection.threshold_bias = 1.2;
+    config.drift.shape = DriftShape::Sine;
+    config.drift.amplitude = 0.3;
+    config.drift.period = 4;
+    config.max_rounds = 6;
+
+    config.exec.workers = 1;
+    const batch::BatchReport reference = batch::BatchPlanner(config).run();
+
+    const struct {
+      std::uint32_t workers;
+      std::uint32_t intra;
+      ReplanMode replan;
+    } variants[] = {
+        {5, 1, ReplanMode::Scratch},
+        {1, 4, ReplanMode::Scratch},
+        {1, 1, ReplanMode::Delta},
+        {5, 4, ReplanMode::Delta},
+    };
+    for (const auto& v : variants) {
+      config.exec.workers = v.workers;
+      config.exec.intra_plan_workers = v.intra;
+      config.exec.replan = v.replan;
+      const batch::BatchReport report = batch::BatchPlanner(config).run();
+      EXPECT_EQ(report.fingerprint(), reference.fingerprint())
+          << "master " << master << " workers " << v.workers << " intra " << v.intra;
+      ASSERT_EQ(report.shots.size(), reference.shots.size());
+      for (std::size_t s = 0; s < report.shots.size(); ++s) {
+        EXPECT_EQ(report.shots[s].final_grid, reference.shots[s].final_grid)
+            << "master " << master << " shot " << s;
+        EXPECT_EQ(report.shots[s].atoms_lost, reference.shots[s].atoms_lost) << "shot " << s;
+        EXPECT_EQ(report.shots[s].success, reference.shots[s].success) << "shot " << s;
+        EXPECT_EQ(report.shots[s].rounds, reference.shots[s].rounds) << "shot " << s;
+      }
     }
   }
 }

@@ -190,6 +190,125 @@ TEST(ScenarioSpec, ImagedDetectionRejectsOutOfRangeValues) {
   EXPECT_THROW(scenario::validate(bad), PreconditionError);
 }
 
+TEST(ScenarioSpec, HostileAxesRoundTripAndStayOffByDefault) {
+  // Every new axis defaults off AND serializes to nothing, so the identity
+  // fingerprint of every pre-existing spec is unchanged by this feature.
+  const std::string baseline = serialize(tiny_spec());
+  for (const char* key : {"burst_loss", "burst_length", "drift", "drift_amplitude",
+                          "drift_period", "threshold_bias", "dead_rows", "dead_cols"}) {
+    EXPECT_EQ(baseline.find(key), std::string::npos) << key;
+  }
+
+  // Correlated loss bursts.
+  ScenarioSpec burst = tiny_spec();
+  burst.burst_loss = 0.25;
+  burst.burst_length = 7;
+  const std::string burst_text = serialize(burst);
+  EXPECT_NE(burst_text.find("burst_loss=0.25"), std::string::npos);
+  EXPECT_NE(burst_text.find("burst_length=7"), std::string::npos);
+  EXPECT_EQ(scenario::parse_scenario(burst_text), burst);
+
+  // Calibration drift and threshold miscalibration (imaging-gated).
+  ScenarioSpec drifty = tiny_spec();
+  drifty.imaged_detection = true;
+  drifty.photons_per_atom = 32.0;
+  drifty.drift = DriftShape::Sine;
+  drifty.drift_amplitude = 0.4;
+  drifty.drift_period = 6;
+  drifty.threshold_bias = 1.25;
+  const std::string drift_text = serialize(drifty);
+  EXPECT_NE(drift_text.find("drift=sine"), std::string::npos);
+  EXPECT_NE(drift_text.find("threshold_bias=1.25"), std::string::npos);
+  EXPECT_EQ(scenario::parse_scenario(drift_text), drifty);
+  drifty.drift = DriftShape::Ramp;
+  EXPECT_EQ(scenario::parse_scenario(serialize(drifty)), drifty);
+
+  // Dead AOD lines serialize as comma lists and round-trip exactly.
+  ScenarioSpec dead = tiny_spec();
+  dead.grid_height = dead.grid_width = 32;
+  dead.target_rows = dead.target_cols = 18;  // occupies rows/cols 7..24
+  dead.dead_rows = {0, 2, 28};
+  dead.dead_cols = {30};
+  const std::string dead_text = serialize(dead);
+  EXPECT_NE(dead_text.find("dead_rows=0,2,28"), std::string::npos);
+  EXPECT_NE(dead_text.find("dead_cols=30"), std::string::npos);
+  EXPECT_EQ(scenario::parse_scenario(dead_text), dead);
+
+  // The adversarial pattern generators round-trip by name. (The Pattern
+  // profile omits fill on serialize, so keep tiny's fill at its default.)
+  ScenarioSpec pat = tiny_spec();
+  pat.fill = 0.55;
+  pat.load = LoadProfile::Pattern;
+  pat.pattern = Pattern::CornerBlock;
+  EXPECT_NE(serialize(pat).find("pattern=corner-block"), std::string::npos);
+  EXPECT_EQ(scenario::parse_scenario(serialize(pat)), pat);
+  pat.pattern = Pattern::HalfGrid;
+  EXPECT_NE(serialize(pat).find("pattern=half-grid"), std::string::npos);
+  EXPECT_EQ(scenario::parse_scenario(serialize(pat)), pat);
+}
+
+TEST(ScenarioSpec, HostileAxesRejectOutOfRangeAndMisgatedValues) {
+  const auto reject = [](const std::string& tail) {
+    EXPECT_THROW((void)scenario::parse_scenario("name=x\n" + tail), PreconditionError) << tail;
+  };
+  // Burst loss: probability range, positive length, length gated on the axis.
+  reject("burst_loss=1.5\n");
+  reject("burst_loss=-0.1\n");
+  reject("burst_loss=nan\n");
+  reject("burst_loss=0.5\nburst_length=0\n");
+  reject("burst_loss=0.5\nburst_length=-4\n");
+  reject("burst_length=5\n");  // burst_length without burst_loss > 0
+  reject("burst_loss=0\nburst_length=5\n");
+
+  // Drift: imaging-gated shape, amplitude/period gated on a non-none shape.
+  reject("drift=sine\n");  // no imaged_detection
+  reject("drift_amplitude=0.3\n");
+  const auto imaged = [&reject](const std::string& tail) {
+    reject("imaged_detection=true\n" + tail);
+  };
+  imaged("drift=wobble\n");
+  imaged("drift=ramp\ndrift_amplitude=1.5\n");
+  imaged("drift=ramp\ndrift_amplitude=-0.1\n");
+  imaged("drift=ramp\ndrift_amplitude=nan\n");
+  imaged("drift=ramp\ndrift_period=0\n");
+  imaged("drift=none\ndrift_amplitude=0.3\n");
+  imaged("drift=none\ndrift_period=4\n");
+  imaged("drift_period=4\n");  // period without any drift shape
+
+  // Threshold bias: imaging-gated, finite, positive, sane.
+  reject("threshold_bias=1.2\n");  // no imaged_detection
+  imaged("threshold_bias=0\n");
+  imaged("threshold_bias=-1\n");
+  imaged("threshold_bias=nan\n");
+  imaged("threshold_bias=inf\n");
+  imaged("threshold_bias=101\n");
+
+  // Dead lines: in-grid, strictly ascending, disjoint from the target.
+  reject("grid=32\ntarget=18\ndead_rows=\n");
+  reject("grid=32\ntarget=18\ndead_rows=5,\n");
+  reject("grid=32\ntarget=18\ndead_rows=5,5\n");
+  reject("grid=32\ntarget=18\ndead_rows=6,2\n");
+  reject("grid=32\ntarget=18\ndead_rows=32\n");
+  reject("grid=32\ntarget=18\ndead_rows=-1\n");
+  reject("grid=32\ntarget=18\ndead_rows=12\n");  // auto target covers rows 7..24
+  reject("grid=32\ntarget=18\ndead_cols=24\n");  // ...and cols 7..24
+  reject("grid=32\ntarget=18\ndead_rows=abc\n");
+
+  // Programmatically built specs hit the same walls via validate().
+  ScenarioSpec bad = tiny_spec();
+  bad.drift = DriftShape::Ramp;  // drift without imaged detection
+  EXPECT_THROW(scenario::validate(bad), PreconditionError);
+  bad = tiny_spec();
+  bad.threshold_bias = 1.3;
+  EXPECT_THROW(scenario::validate(bad), PreconditionError);
+  bad = tiny_spec();
+  bad.dead_rows = {4, 4};
+  EXPECT_THROW(scenario::validate(bad), PreconditionError);
+  bad = tiny_spec();
+  bad.dead_cols = {6};  // tiny's 8x8 target sits at rows/cols 4..11
+  EXPECT_THROW(scenario::validate(bad), PreconditionError);
+}
+
 // ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
@@ -216,6 +335,9 @@ TEST(ScenarioRegistry, ShipsTheRequiredCoverage) {
   for (const ScenarioSpec& spec : scenarios) imaged = imaged || spec.imaged_detection;
   EXPECT_TRUE(imaged);
   EXPECT_NO_THROW((void)scenario::find_scenario("imaged-detection"));
+  // The hostile-physics axes (bursts, drift, bias, dead channels, adversarial
+  // patterns) ship as first-class registry scenarios with pinned goldens.
+  EXPECT_GE(scenario::filter_registry("hostile").size(), 6u);
   // The paper's own workload and a large-grid stress point are present.
   EXPECT_NO_THROW((void)scenario::find_scenario("paper-fig7"));
   EXPECT_NO_THROW((void)scenario::find_scenario("large-grid-256"));
